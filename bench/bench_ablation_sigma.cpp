@@ -1,0 +1,33 @@
+// Ablation (ours, motivated by §IV-B): the Gaussian augmentation strength
+// sigma. The paper fixes sigma = 1.0 following Kannan et al. and leaves the
+// comparison of augmentation methods as future work — this sweep is that
+// comparison at bench scale.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "eval/experiments.hpp"
+
+int main() {
+  using namespace zkg;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(env_or_int("ZKG_SEED", 20190417));
+  ::setenv("ZKG_EPOCHS", "12", /*overwrite=*/0);
+
+  std::cout << "=== Ablation: ZK-GanDef augmentation sigma sweep "
+               "(synth-digits, PGD evaluation) ===\n\n";
+  const std::vector<eval::AblationPoint> points = eval::run_sigma_ablation(
+      data::DatasetId::kDigits, {0.25f, 0.5f, 1.0f}, seed);
+
+  Table table({"sigma", "Original", "PGD"});
+  for (const eval::AblationPoint& p : points) {
+    table.add_row({Table::fixed(p.value, 2), Table::percent(p.acc_original),
+                   Table::percent(p.acc_pgd)});
+  }
+  std::cout << table.to_text()
+            << "\nExpected: weak noise (sigma << 1) trains faster but "
+               "transfers little robustness;\nthe paper's sigma = 1.0 is "
+               "the robust end of the sweep.\n";
+  return 0;
+}

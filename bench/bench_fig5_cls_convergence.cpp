@@ -1,0 +1,47 @@
+// Regenerates paper Figure 5 (right): CLS training-loss curves on the
+// CIFAR10 analogue under the four (sigma, lambda) settings of §V-D. In the
+// paper, the three settings with sigma=1.0 or lambda=0.4 stay flat (no
+// convergence) and only (sigma=0.1, lambda=0.01) — which "falls back to a
+// Vanilla classifier" — converges.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "eval/experiments.hpp"
+
+int main() {
+  using namespace zkg;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(env_or_int("ZKG_SEED", 20190417));
+  const auto epochs = env_or_int("ZKG_CONV_EPOCHS", 8);
+
+  std::cout << "=== Paper Figure 5 (right) — CLS training loss on "
+            << data::dataset_name(data::DatasetId::kObjects)
+            << " under four (sigma, lambda) settings ===\n\n";
+
+  const std::vector<eval::LossCurve> curves =
+      eval::run_cls_convergence(data::DatasetId::kObjects, seed, epochs);
+
+  std::vector<std::string> header{"sigma", "lambda"};
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    header.push_back("ep" + std::to_string(e));
+  }
+  header.push_back("converged");
+  Table table(header);
+  for (const eval::LossCurve& curve : curves) {
+    std::vector<std::string> row{Table::fixed(curve.sigma, 2),
+                                 Table::fixed(curve.lambda, 2)};
+    for (const float loss : curve.losses) row.push_back(Table::fixed(loss, 3));
+    row.push_back(curve.converged ? "yes" : "NO");
+    table.add_row(row);
+  }
+  std::cout << table.to_text()
+            << "\nExpected shape (paper §V-D): the flat curves belong to the "
+               "strong-noise / strong-penalty\nsettings; the "
+               "(sigma=0.1, lambda=0.01) curve decreases — but that setting "
+               "is effectively a\nVanilla classifier with no defensive "
+               "value.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// google-benchmark micro-benchmarks for the hot kernels: GEMM variants,
+// im2col convolution, softmax/CE, and a full attack step. Not part of the
+// paper; engineering validation of the substrate.
+#include <benchmark/benchmark.h>
+
+#include "attacks/fgsm.hpp"
+#include "common/rng.hpp"
+#include "models/lenet.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using namespace zkg;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulNT)->Arg(64)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(3);
+  const nn::Conv2dConfig cfg{.in_channels = 3, .out_channels = 16,
+                             .kernel = 3, .stride = 1, .padding = 1};
+  const Tensor x = randn({batch, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::im2col(x, cfg));
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_ConvForwardBackward(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(4);
+  nn::Conv2d conv({.in_channels = 3, .out_channels = 16, .kernel = 3,
+                   .stride = 1, .padding = 1},
+                  rng);
+  const Tensor x = randn({batch, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(conv.backward(Tensor(y.shape(), 1.0f)));
+    conv.zero_grad();
+  }
+}
+BENCHMARK(BM_ConvForwardBackward)->Arg(16)->Arg(64);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(5);
+  const Tensor logits = randn({batch, 10}, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::softmax_cross_entropy(logits, labels));
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy)->Arg(64)->Arg(1024);
+
+void BM_LeNetForward(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(6);
+  models::Classifier model =
+      models::build_lenet({1, 28, 28, 10}, models::Preset::kBench, rng);
+  const Tensor x = randn({batch, 1, 28, 28}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LeNetForward)->Arg(1)->Arg(64);
+
+void BM_FgsmAttackStep(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(7);
+  models::Classifier model =
+      models::build_lenet({1, 28, 28, 10}, models::Preset::kBench, rng);
+  const Tensor x = rand_uniform({batch, 1, 28, 28}, rng, -1.0f, 1.0f);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(batch));
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+  attacks::Fgsm fgsm({.epsilon = 0.3f});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fgsm.generate(model, x, labels));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FgsmAttackStep)->Arg(64);
+
+void BM_GaussianAugment(benchmark::State& state) {
+  Rng rng(8);
+  const Tensor x = rand_uniform({64, 1, 28, 28}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor noise = randn(x.shape(), rng, 0.0f, 1.0f);
+    add_(noise, x);
+    clamp_(noise, -1.0f, 1.0f);
+    benchmark::DoNotOptimize(noise);
+  }
+}
+BENCHMARK(BM_GaussianAugment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

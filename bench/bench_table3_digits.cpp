@@ -1,0 +1,6 @@
+// Regenerates paper Table III / Figure 4, MNIST column (synth-digits).
+#include "bench/table3_common.hpp"
+
+int main() {
+  return zkg::bench::run_table3_binary(zkg::data::DatasetId::kDigits);
+}

@@ -1,0 +1,7 @@
+// Regenerates paper Table III / Figure 4, Fashion-MNIST column
+// (synth-fashion).
+#include "bench/table3_common.hpp"
+
+int main() {
+  return zkg::bench::run_table3_binary(zkg::data::DatasetId::kFashion);
+}

@@ -1,0 +1,7 @@
+// Regenerates paper Table III / Figure 4, CIFAR10 column (synth-objects),
+// including the CLP/CLS convergence-failure behaviour of §V-D footnote 1.
+#include "bench/table3_common.hpp"
+
+int main() {
+  return zkg::bench::run_table3_binary(zkg::data::DatasetId::kObjects);
+}

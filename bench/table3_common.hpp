@@ -1,0 +1,47 @@
+// Shared driver for the three Table III / Figure 4 bench binaries.
+#pragma once
+
+#include <iostream>
+
+#include "common/env.hpp"
+#include "eval/experiments.hpp"
+
+namespace zkg::bench {
+
+/// Runs the full 7-defense x 4-example-type grid for one dataset and prints
+/// the Table III rows, the Figure 4 series and the §V-A headline numbers.
+inline int run_table3_binary(data::DatasetId id) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(env_or_int("ZKG_SEED", 20190417));
+  const eval::ExperimentScale scale = eval::scale_for(id);
+
+  std::cout << "=== Paper Table III / Figure 4 — " << data::dataset_name(id)
+            << " ===\n"
+            << "preset: "
+            << (scale.model_preset == models::Preset::kPaper ? "paper"
+                                                             : "bench")
+            << ", train=" << scale.train_samples
+            << ", test=" << scale.test_samples << ", epochs=" << scale.epochs
+            << ", eps=" << scale.fgsm.epsilon << "\n\n";
+
+  const eval::Table3Result result =
+      eval::run_table3(id, defense::all_defenses(), seed);
+
+  std::cout << "Table III (test accuracy):\n"
+            << result.accuracy_table().to_text() << "\n"
+            << "Figure 4 series (same data, one series per defense):\n"
+            << result.figure4_series().to_text() << "\n"
+            << result.headline_summary() << "\n";
+
+  // Convergence notes (the paper's footnote-1 behaviour for CLP/CLS).
+  for (const eval::DefenseRun& row : result.rows) {
+    if (!row.converged) {
+      std::cout << "note: " << row.name
+                << " did not converge (final loss " << row.final_loss
+                << ") — cf. paper §V-D\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace zkg::bench

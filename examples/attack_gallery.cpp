@@ -1,0 +1,67 @@
+// Attack gallery: trains an undefended (Vanilla) classifier and runs every
+// attack in the library against it, reporting accuracy, attack success rate
+// and perturbation statistics — the scenario of the paper's Figure 1, where
+// imperceptibly small perturbations collapse an undefended model.
+#include <iostream>
+
+#include "attacks/bim.hpp"
+#include "attacks/cw.hpp"
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/noise.hpp"
+#include "attacks/pgd.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "data/preprocess.hpp"
+#include "defense/vanilla.hpp"
+#include "eval/evaluator.hpp"
+#include "models/lenet.hpp"
+
+int main() {
+  using namespace zkg;
+
+  Rng rng(7);
+  data::Dataset raw = data::make_synth_digits(1400, rng);
+  const data::Dataset scaled = data::scale_pixels(raw);
+  const data::TrainTestSplit split = data::separate(scaled, 200, rng);
+
+  models::Classifier model = models::build_lenet(
+      models::InputSpec{1, 28, 28, 10}, models::Preset::kBench, rng);
+
+  defense::TrainConfig config;
+  config.epochs = 18;
+  config.batch_size = 64;
+  defense::VanillaTrainer trainer(model, config);
+  trainer.fit(split.train);
+
+  // The paper's MNIST budget: eps 0.6 on the [-1, 1] scale.
+  attacks::AttackBudget iterative{.epsilon = 0.6f, .step_size = 0.1f,
+                                  .iterations = 10, .restarts = 1};
+  attacks::Fgsm fgsm(attacks::AttackBudget{.epsilon = 0.6f});
+  attacks::Bim bim(iterative);
+  attacks::Pgd pgd(iterative, rng);
+  attacks::DeepFool deepfool(iterative);
+  attacks::CarliniWagner cw(iterative, 0.0f, 0.15f);
+  attacks::GaussianNoise noise(attacks::AttackBudget{.epsilon = 0.6f}, 1.0f,
+                               rng);
+
+  const eval::Evaluator evaluator;
+  const eval::Evaluation eval = evaluator.evaluate(
+      model, split.test, {&noise, &fgsm, &bim, &pgd, &deepfool, &cw});
+
+  Table table({"Attack", "Accuracy", "SuccessRate", "mean|d|inf", "mean|d|2"});
+  table.add_row({"(none)", Table::percent(eval.clean_accuracy), "-", "-", "-"});
+  for (const eval::AttackEvaluation& a : eval.attacks) {
+    table.add_row({a.attack_name, Table::percent(a.test_accuracy),
+                   Table::percent(a.success_rate),
+                   Table::fixed(a.perturbation.mean_linf, 3),
+                   Table::fixed(a.perturbation.mean_l2, 2)});
+  }
+  std::cout << "Vanilla classifier under white-box attack "
+               "(synth-digits, eps=0.6):\n\n"
+            << table.to_text()
+            << "\nExpected shape (paper Table III, Vanilla row): random "
+               "Gaussian noise barely hurts;\nFGSM hurts badly; iterative "
+               "attacks (BIM/PGD/CW) are devastating.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Defense shootout: trains the paper's three zero-knowledge defenses (CLP,
+// CLS, ZK-GanDef) plus Vanilla from the same initial weights on the
+// Fashion-MNIST analogue, and prints a Table-III-style comparison — the
+// experiment the paper's abstract headlines ("up to 49.17% over zero
+// knowledge approaches").
+#include <iostream>
+
+#include "attacks/fgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "data/preprocess.hpp"
+#include "defense/registry.hpp"
+#include "eval/evaluator.hpp"
+#include "models/lenet.hpp"
+
+int main() {
+  using namespace zkg;
+
+  Rng data_rng(21);
+  data::Dataset raw = data::make_synth_fashion(1600, data_rng);
+  const data::Dataset scaled = data::scale_pixels(raw);
+  const data::TrainTestSplit split = data::separate(scaled, 250, data_rng);
+
+  Table table({"Defense", "Original", "FGSM", "PGD", "s/epoch"});
+
+  for (const defense::DefenseId id : defense::zero_knowledge_defenses()) {
+    Rng model_rng(99);  // identical initial weights for every defense
+    models::Classifier model = models::build_lenet(
+        models::InputSpec{1, 28, 28, 10}, models::Preset::kBench, model_rng);
+
+    defense::TrainConfig config;
+    config.epochs = 18;
+    config.batch_size = 64;
+    config.lambda = 0.1f;  // scale-adjusted CLP/CLS weight (EXPERIMENTS.md)
+    config.gamma = 0.05f;
+    defense::TrainerPtr trainer = defense::make_trainer(id, model, config);
+    std::cout << "training " << trainer->name() << "...\n";
+    const defense::TrainResult train = trainer->fit(split.train);
+
+    Rng attack_rng(5);
+    attacks::Fgsm fgsm(attacks::AttackBudget{.epsilon = 0.3f});
+    attacks::Pgd pgd(attacks::AttackBudget{.epsilon = 0.3f,
+                                           .step_size = 0.06f,
+                                           .iterations = 10,
+                                           .restarts = 1},
+                     attack_rng);
+    const eval::Evaluator evaluator;
+    const eval::Evaluation eval =
+        evaluator.evaluate(model, split.test, {&fgsm, &pgd});
+
+    table.add_row({trainer->name(), Table::percent(eval.clean_accuracy),
+                   Table::percent(eval.attack("FGSM").test_accuracy),
+                   Table::percent(eval.attack("PGD").test_accuracy),
+                   Table::fixed(train.mean_epoch_seconds(), 2)});
+  }
+
+  std::cout << "\nZero-knowledge defenses on synth-fashion:\n\n"
+            << table.to_text()
+            << "\nShape at this miniature scale: every zero-knowledge "
+               "defense beats Vanilla on the\nattack columns and ZK-GanDef "
+               "keeps the best clean accuracy. The paper's full-scale\n"
+               "result (ZK-GanDef ahead on the attack columns too) needs "
+               "more gradient updates to\nemerge — see EXPERIMENTS.md "
+               "scaling notes and the bench_table3_* binaries.\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every paper table/figure: one binary per experiment.
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "### $b"
+    "$b"
+    echo ""
+  fi
+done
+echo "ALL BENCHES COMPLETE"

@@ -1,0 +1,53 @@
+#include "attacks/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/preprocess.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace zkg::attacks {
+
+Tensor input_gradient(models::Classifier& model, const Tensor& images,
+                      const std::vector<std::int64_t>& labels,
+                      float* loss_out) {
+  model.zero_grad();
+  const Tensor logits = model.forward(images, /*training=*/false);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  Tensor grad = model.backward(loss.grad);
+  model.zero_grad();
+  if (loss_out != nullptr) *loss_out = loss.value;
+  return grad;
+}
+
+std::vector<float> per_example_loss(models::Classifier& model,
+                                    const Tensor& images,
+                                    const std::vector<std::int64_t>& labels) {
+  const Tensor logits = model.forward(images, /*training=*/false);
+  const Tensor probs = softmax_rows(logits);
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  std::vector<float> losses(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const std::int64_t label = labels[static_cast<std::size_t>(i)];
+    ZKG_CHECK(label >= 0 && label < classes) << " label " << label;
+    losses[static_cast<std::size_t>(i)] =
+        -std::log(probs[i * classes + label] + 1e-30f);
+  }
+  return losses;
+}
+
+void project_linf_(Tensor& adv, const Tensor& origin, float eps) {
+  check_same_shape(adv, origin, "project_linf_");
+  ZKG_CHECK(eps >= 0.0f) << " eps " << eps;
+  float* pa = adv.data();
+  const float* po = origin.data();
+  for (std::int64_t i = 0; i < adv.numel(); ++i) {
+    const float lo = std::max(po[i] - eps, data::kPixelMin);
+    const float hi = std::min(po[i] + eps, data::kPixelMax);
+    pa[i] = std::clamp(pa[i], lo, hi);
+  }
+}
+
+}  // namespace zkg::attacks

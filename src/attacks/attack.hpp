@@ -1,0 +1,59 @@
+// Attack interface and shared white-box gradient machinery.
+//
+// All attacks are white-box: they query the target classifier's own input
+// gradients (paper §II-A). Perturbations live in an l_inf ball of radius
+// `epsilon` around the original image and the result is always projected
+// back into the valid pixel range [-1, 1] (the paper's regulation function
+// F).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/classifier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::attacks {
+
+/// Hyper-parameters shared by the gradient attacks. Defaults correspond to
+/// the paper's MNIST setting on the [-1, 1] pixel scale.
+struct AttackBudget {
+  float epsilon = 0.6f;         // l_inf radius
+  float step_size = 0.02f;      // per-iteration step (iterative attacks)
+  std::int64_t iterations = 40; // iterative attacks
+  std::int64_t restarts = 1;    // PGD random restarts
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  virtual std::string name() const = 0;
+
+  /// Returns adversarial versions of `images` ([B, C, H, W], range [-1, 1])
+  /// targeting misclassification away from `labels`. Leaves the model's
+  /// parameter gradients zeroed.
+  virtual Tensor generate(models::Classifier& model, const Tensor& images,
+                          const std::vector<std::int64_t>& labels) = 0;
+};
+
+using AttackPtr = std::unique_ptr<Attack>;
+
+/// Gradient of the mean cross-entropy loss w.r.t. the input pixels.
+/// Runs the model in inference mode, then re-zeroes parameter gradients so
+/// attack passes never leak into training updates. Optionally reports the
+/// loss value.
+Tensor input_gradient(models::Classifier& model, const Tensor& images,
+                      const std::vector<std::int64_t>& labels,
+                      float* loss_out = nullptr);
+
+/// Per-example cross-entropy losses (used by PGD restart selection).
+std::vector<float> per_example_loss(models::Classifier& model,
+                                    const Tensor& images,
+                                    const std::vector<std::int64_t>& labels);
+
+/// Projects `adv` onto the l_inf ball of radius eps around `origin`, then
+/// into the valid pixel range. Mutates `adv`.
+void project_linf_(Tensor& adv, const Tensor& origin, float eps);
+
+}  // namespace zkg::attacks

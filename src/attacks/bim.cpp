@@ -1,0 +1,26 @@
+#include "attacks/bim.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zkg::attacks {
+
+Bim::Bim(AttackBudget budget) : budget_(budget) {
+  ZKG_CHECK(budget_.epsilon >= 0.0f && budget_.step_size > 0.0f &&
+            budget_.iterations > 0)
+      << " BIM budget (eps=" << budget_.epsilon
+      << ", step=" << budget_.step_size << ", iters=" << budget_.iterations
+      << ")";
+}
+
+Tensor Bim::generate(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels) {
+  Tensor adv = images;
+  for (std::int64_t it = 0; it < budget_.iterations; ++it) {
+    const Tensor grad = input_gradient(model, adv, labels);
+    axpy_(adv, budget_.step_size, sign(grad));
+    project_linf_(adv, images, budget_.epsilon);
+  }
+  return adv;
+}
+
+}  // namespace zkg::attacks

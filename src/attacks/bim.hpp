@@ -1,0 +1,24 @@
+// Basic Iterative Method (Kurakin et al., ICLR 2017): FGSM applied
+// iteratively with a small per-step budget, re-projected onto the epsilon
+// ball after every step.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace zkg::attacks {
+
+class Bim : public Attack {
+ public:
+  explicit Bim(AttackBudget budget);
+
+  std::string name() const override { return "BIM"; }
+  Tensor generate(models::Classifier& model, const Tensor& images,
+                  const std::vector<std::int64_t>& labels) override;
+
+  const AttackBudget& budget() const { return budget_; }
+
+ private:
+  AttackBudget budget_;
+};
+
+}  // namespace zkg::attacks

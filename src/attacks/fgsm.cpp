@@ -1,0 +1,19 @@
+#include "attacks/fgsm.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zkg::attacks {
+
+Fgsm::Fgsm(AttackBudget budget) : budget_(budget) {
+  ZKG_CHECK(budget_.epsilon >= 0.0f) << " FGSM epsilon " << budget_.epsilon;
+}
+
+Tensor Fgsm::generate(models::Classifier& model, const Tensor& images,
+                      const std::vector<std::int64_t>& labels) {
+  const Tensor grad = input_gradient(model, images, labels);
+  Tensor adv = add(images, mul(sign(grad), budget_.epsilon));
+  project_linf_(adv, images, budget_.epsilon);
+  return adv;
+}
+
+}  // namespace zkg::attacks

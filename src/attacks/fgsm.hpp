@@ -1,0 +1,23 @@
+// Fast Gradient Sign Method (Goodfellow et al., ICLR 2015): one signed
+// gradient step of size epsilon.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace zkg::attacks {
+
+class Fgsm : public Attack {
+ public:
+  explicit Fgsm(AttackBudget budget);
+
+  std::string name() const override { return "FGSM"; }
+  Tensor generate(models::Classifier& model, const Tensor& images,
+                  const std::vector<std::int64_t>& labels) override;
+
+  const AttackBudget& budget() const { return budget_; }
+
+ private:
+  AttackBudget budget_;
+};
+
+}  // namespace zkg::attacks

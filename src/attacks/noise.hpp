@@ -1,0 +1,27 @@
+// Gaussian-noise "attack": the random perturbation the zero-knowledge
+// defenses train against. Not adversarial — used as a sanity baseline and by
+// the ablation benches.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "common/rng.hpp"
+
+namespace zkg::attacks {
+
+class GaussianNoise : public Attack {
+ public:
+  /// Noise of standard deviation `sigma`, clipped to the epsilon ball when
+  /// `budget.epsilon` > 0 and always to the valid pixel range.
+  GaussianNoise(AttackBudget budget, float sigma, Rng& rng);
+
+  std::string name() const override { return "GaussianNoise"; }
+  Tensor generate(models::Classifier& model, const Tensor& images,
+                  const std::vector<std::int64_t>& labels) override;
+
+ private:
+  AttackBudget budget_;
+  float sigma_;
+  Rng rng_;
+};
+
+}  // namespace zkg::attacks

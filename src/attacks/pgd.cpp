@@ -1,0 +1,55 @@
+#include "attacks/pgd.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::attacks {
+
+Pgd::Pgd(AttackBudget budget, Rng& rng) : budget_(budget), rng_(rng.fork()) {
+  ZKG_CHECK(budget_.epsilon >= 0.0f && budget_.step_size > 0.0f &&
+            budget_.iterations > 0 && budget_.restarts > 0)
+      << " PGD budget (eps=" << budget_.epsilon
+      << ", step=" << budget_.step_size << ", iters=" << budget_.iterations
+      << ", restarts=" << budget_.restarts << ")";
+}
+
+Tensor Pgd::run_once(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels) {
+  Tensor adv = add(images, rand_uniform(images.shape(), rng_,
+                                        -budget_.epsilon, budget_.epsilon));
+  project_linf_(adv, images, budget_.epsilon);
+  for (std::int64_t it = 0; it < budget_.iterations; ++it) {
+    const Tensor grad = input_gradient(model, adv, labels);
+    axpy_(adv, budget_.step_size, sign(grad));
+    project_linf_(adv, images, budget_.epsilon);
+  }
+  return adv;
+}
+
+Tensor Pgd::generate(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels) {
+  Tensor best = run_once(model, images, labels);
+  if (budget_.restarts == 1) return best;
+
+  std::vector<float> best_loss = per_example_loss(model, best, labels);
+  const std::int64_t batch = images.dim(0);
+  const std::int64_t stride = images.numel() / batch;
+  for (std::int64_t r = 1; r < budget_.restarts; ++r) {
+    Tensor candidate = run_once(model, images, labels);
+    const std::vector<float> cand_loss =
+        per_example_loss(model, candidate, labels);
+    for (std::int64_t i = 0; i < batch; ++i) {
+      if (cand_loss[static_cast<std::size_t>(i)] >
+          best_loss[static_cast<std::size_t>(i)]) {
+        best_loss[static_cast<std::size_t>(i)] =
+            cand_loss[static_cast<std::size_t>(i)];
+        std::copy(candidate.data() + i * stride,
+                  candidate.data() + (i + 1) * stride,
+                  best.data() + i * stride);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace zkg::attacks

@@ -1,0 +1,30 @@
+// Projected Gradient Descent (Madry et al., 2017): BIM from a random start
+// inside the epsilon ball, with optional random restarts keeping the
+// per-example worst case (highest loss).
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "common/rng.hpp"
+
+namespace zkg::attacks {
+
+class Pgd : public Attack {
+ public:
+  Pgd(AttackBudget budget, Rng& rng);
+
+  std::string name() const override { return "PGD"; }
+  Tensor generate(models::Classifier& model, const Tensor& images,
+                  const std::vector<std::int64_t>& labels) override;
+
+  const AttackBudget& budget() const { return budget_; }
+
+ private:
+  /// One random-start BIM run.
+  Tensor run_once(models::Classifier& model, const Tensor& images,
+                  const std::vector<std::int64_t>& labels);
+
+  AttackBudget budget_;
+  Rng rng_;
+};
+
+}  // namespace zkg::attacks

@@ -1,0 +1,83 @@
+#include "attacks/spsa.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace zkg::attacks {
+namespace {
+
+// Per-example margin loss from logits only (no gradients): the attacker
+// maximises  max_{k != t} z_k - z_t.
+std::vector<float> margin_loss(const Tensor& logits,
+                               const std::vector<std::int64_t>& labels) {
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  std::vector<float> losses(static_cast<std::size_t>(batch));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const std::int64_t label = labels[static_cast<std::size_t>(i)];
+    float best_other = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < classes; ++c) {
+      if (c == label) continue;
+      best_other = std::max(best_other, logits[i * classes + c]);
+    }
+    losses[static_cast<std::size_t>(i)] =
+        best_other - logits[i * classes + label];
+  }
+  return losses;
+}
+
+}  // namespace
+
+Spsa::Spsa(AttackBudget budget, Rng& rng, float delta, std::int64_t samples)
+    : budget_(budget), rng_(rng.fork()), delta_(delta), samples_(samples) {
+  ZKG_CHECK(budget_.epsilon >= 0.0f && budget_.step_size > 0.0f &&
+            budget_.iterations > 0 && delta > 0.0f && samples > 0)
+      << " SPSA budget (eps=" << budget_.epsilon
+      << ", step=" << budget_.step_size << ", iters=" << budget_.iterations
+      << ", delta=" << delta << ", samples=" << samples << ")";
+}
+
+Tensor Spsa::generate(models::Classifier& model, const Tensor& images,
+                      const std::vector<std::int64_t>& labels) {
+  const std::int64_t batch = images.dim(0);
+  const std::int64_t stride = images.numel() / batch;
+
+  Tensor adv = images;
+  for (std::int64_t it = 0; it < budget_.iterations; ++it) {
+    Tensor grad_estimate(images.shape());
+    for (std::int64_t s = 0; s < samples_; ++s) {
+      // Rademacher probe direction.
+      Tensor direction(images.shape());
+      for (std::int64_t p = 0; p < direction.numel(); ++p) {
+        direction[p] = rng_.bernoulli(0.5f) ? 1.0f : -1.0f;
+      }
+      Tensor plus = adv;
+      axpy_(plus, delta_, direction);
+      Tensor minus = adv;
+      axpy_(minus, -delta_, direction);
+
+      // Query-only access: forward passes, no backward.
+      const std::vector<float> loss_plus =
+          margin_loss(model.forward(plus, /*training=*/false), labels);
+      const std::vector<float> loss_minus =
+          margin_loss(model.forward(minus, /*training=*/false), labels);
+
+      for (std::int64_t i = 0; i < batch; ++i) {
+        const float scale =
+            (loss_plus[static_cast<std::size_t>(i)] -
+             loss_minus[static_cast<std::size_t>(i)]) /
+            (2.0f * delta_);
+        float* g = grad_estimate.data() + i * stride;
+        const float* d = direction.data() + i * stride;
+        // d(loss)/dx_j ~= scale / d_j = scale * d_j (Rademacher: d_j = ±1).
+        for (std::int64_t p = 0; p < stride; ++p) g[p] += scale * d[p];
+      }
+    }
+    axpy_(adv, budget_.step_size, sign(grad_estimate));
+    project_linf_(adv, images, budget_.epsilon);
+  }
+  return adv;
+}
+
+}  // namespace zkg::attacks

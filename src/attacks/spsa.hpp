@@ -1,0 +1,36 @@
+// SPSA (Simultaneous Perturbation Stochastic Approximation) — a *black-box*
+// adversarial example generator (Uesato et al., ICML 2018).
+//
+// The paper's threat taxonomy (§II-A) distinguishes white-box attacks (full
+// gradient access — FGSM/BIM/PGD/DeepFool/CW in this library) from black-box
+// attacks that may only query the model. SPSA estimates the loss gradient
+// from two function evaluations along a random Rademacher direction, then
+// takes projected signed steps like PGD. It lets downstream users evaluate
+// the defenses under the query-only threat model the paper mentions but does
+// not evaluate.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "common/rng.hpp"
+
+namespace zkg::attacks {
+
+class Spsa : public Attack {
+ public:
+  /// `delta` is the finite-difference probe radius; `samples` the number of
+  /// random directions averaged per step (variance reduction).
+  Spsa(AttackBudget budget, Rng& rng, float delta = 0.01f,
+       std::int64_t samples = 8);
+
+  std::string name() const override { return "SPSA"; }
+  Tensor generate(models::Classifier& model, const Tensor& images,
+                  const std::vector<std::int64_t>& labels) override;
+
+ private:
+  AttackBudget budget_;
+  Rng rng_;
+  float delta_;
+  std::int64_t samples_;
+};
+
+}  // namespace zkg::attacks

@@ -1,0 +1,23 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace zkg {
+
+std::string env_or(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+std::int64_t env_or_int(const std::string& name, std::int64_t fallback) {
+  const std::string text = env_or(name, "");
+  if (text.empty()) return fallback;
+  try {
+    return std::stoll(text);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace zkg

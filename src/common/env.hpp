@@ -1,0 +1,16 @@
+// Environment-variable helpers used by the bench/experiment binaries to pick
+// scaling presets without a CLI-parsing dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zkg {
+
+/// Value of `name`, or `fallback` when unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Integer value of `name`, or `fallback` when unset or unparsable.
+std::int64_t env_or_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace zkg

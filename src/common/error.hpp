@@ -1,0 +1,65 @@
+// Error handling primitives for the zkg library.
+//
+// Library code never calls exit(); precondition violations and runtime
+// failures throw zkg::Error with a formatted, source-located message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace zkg {
+
+/// Base exception type for every error raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument or tensor shape violates a precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when serialized data is malformed or truncated.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+// Stream-collects the variadic message parts of a failed ZKG_CHECK.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << condition;
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw InvalidArgument(stream_.str()); }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace zkg
+
+/// Precondition check: throws zkg::InvalidArgument with file/line context.
+/// Usage: ZKG_CHECK(a.size() == b.size()) << " a=" << a.size();
+#define ZKG_CHECK(cond)                                                     \
+  if (cond) {                                                               \
+  } else                                                                    \
+    for (::zkg::detail::CheckMessageBuilder zkg_msg_(#cond, __FILE__,       \
+                                                     __LINE__);             \
+         ; zkg_msg_.raise())                                                \
+  zkg_msg_ << ""

@@ -1,0 +1,43 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace zkg::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_sink_mutex;
+std::ostream* g_sink = nullptr;  // nullptr means std::cerr
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+}
+
+void write(Level message_level, const std::string& message) {
+  if (static_cast<int>(message_level) < static_cast<int>(level())) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << "[" << level_name(message_level) << "] " << message << "\n";
+}
+
+}  // namespace zkg::log

@@ -1,0 +1,52 @@
+// Minimal leveled logger. Single global sink (stderr by default); the only
+// global mutable state in the library, guarded by a mutex.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace zkg::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that reaches the sink. Thread-safe.
+void set_level(Level level);
+Level level();
+
+/// Redirects log output (default: std::cerr). The stream must outlive all
+/// logging calls. Passing nullptr restores std::cerr. Thread-safe.
+void set_sink(std::ostream* sink);
+
+/// Emits one formatted line ("[LEVEL] message\n") if `level` is enabled.
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+// RAII line builder: collects "<<" pieces, emits on destruction.
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace zkg::log

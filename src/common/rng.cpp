@@ -1,0 +1,41 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace zkg {
+
+Rng Rng::fork() {
+  // Draw two words to decorrelate the child from the parent stream.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(float p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<std::int64_t> Rng::permutation(std::int64_t n) {
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace zkg

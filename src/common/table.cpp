@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace zkg {
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (const char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ZKG_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ZKG_CHECK(row.size() == header_.size())
+      << " row has " << row.size() << " cells, header has " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::percent(double fraction, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return out.str();
+}
+
+std::string Table::fixed(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c], '-') << "  ";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (const auto& cell : row) out << " " << cell << " |";
+    out << "\n";
+  };
+  emit(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) out << "---|";
+  out << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << csv_escape(row[c]);
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace zkg

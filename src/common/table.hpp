@@ -1,0 +1,39 @@
+// Tabular report builder. The experiment drivers use it to print the
+// paper's tables as aligned text, GitHub markdown, or CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zkg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats floating point cells as percentages ("12.34%").
+  static std::string percent(double fraction, int decimals = 2);
+  /// Formats a double with fixed decimals.
+  static std::string fixed(double value, int decimals = 2);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Monospace-aligned rendering for terminals.
+  std::string to_text() const;
+  /// GitHub-flavoured markdown rendering.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zkg

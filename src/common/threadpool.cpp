@@ -1,0 +1,86 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace zkg {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ZKG_CHECK(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ZKG_CHECK(!stopping_) << " (pool is shutting down)";
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (count <= 0) return;
+  const auto num_chunks =
+      std::min<std::int64_t>(count, static_cast<std::int64_t>(size()));
+  if (num_chunks <= 1) {
+    body(0, count);
+    return;
+  }
+  const std::int64_t chunk = (count + num_chunks - 1) / num_chunks;
+  for (std::int64_t begin = 0; begin < count; begin += chunk) {
+    const std::int64_t end = std::min(begin + chunk, count);
+    submit([&body, begin, end] { body(begin, end); });
+  }
+  wait_idle();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace zkg

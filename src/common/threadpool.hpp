@@ -1,0 +1,55 @@
+// Small fixed-size thread pool with a parallel_for helper.
+//
+// Used by the tensor kernels when OpenMP is unavailable and by the
+// evaluation harness to attack several batches concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zkg {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (defaults to hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks may not throw (exceptions terminate).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Splits [0, count) into contiguous chunks and runs
+  /// `body(begin, end)` on the pool; blocks until complete.
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::int64_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace zkg

@@ -1,0 +1,49 @@
+#include "data/batcher.hpp"
+
+#include <numeric>
+
+#include "tensor/ops.hpp"
+
+namespace zkg::data {
+
+Batcher::Batcher(const Dataset& dataset, std::int64_t batch_size, Rng& rng,
+                 bool shuffle)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng.fork()),
+      shuffle_(shuffle) {
+  dataset.validate();
+  ZKG_CHECK(batch_size > 0) << " batch_size " << batch_size;
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch();
+}
+
+void Batcher::start_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::optional<Batch> Batcher::next() {
+  const auto total = static_cast<std::int64_t>(order_.size());
+  if (cursor_ >= total) return std::nullopt;
+  const std::int64_t end = std::min(cursor_ + batch_size_, total);
+  const std::vector<std::int64_t> indices(order_.begin() + cursor_,
+                                          order_.begin() + end);
+  cursor_ = end;
+
+  Batch batch;
+  batch.images = gather_rows(dataset_.images, indices);
+  batch.labels.reserve(indices.size());
+  for (const std::int64_t i : indices) {
+    batch.labels.push_back(dataset_.labels[static_cast<std::size_t>(i)]);
+  }
+  return batch;
+}
+
+std::int64_t Batcher::batches_per_epoch() const {
+  const auto total = static_cast<std::int64_t>(order_.size());
+  return (total + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace zkg::data

@@ -1,0 +1,43 @@
+// Batcher: shuffled mini-batch iteration over a Dataset.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace zkg::data {
+
+struct Batch {
+  Tensor images;                     // [b, C, H, W]
+  std::vector<std::int64_t> labels;  // b entries
+  std::int64_t size() const { return images.dim(0); }
+};
+
+class Batcher {
+ public:
+  /// Holds a reference to `dataset`; the dataset must outlive the batcher.
+  /// When `shuffle` is set, each epoch() call draws a fresh permutation.
+  Batcher(const Dataset& dataset, std::int64_t batch_size, Rng& rng,
+          bool shuffle = true);
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void start_epoch();
+
+  /// Next batch, or nullopt at the end of the epoch. The final batch may be
+  /// smaller than batch_size.
+  std::optional<Batch> next();
+
+  std::int64_t batch_size() const { return batch_size_; }
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  Rng rng_;
+  bool shuffle_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace zkg::data

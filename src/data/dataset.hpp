@@ -1,0 +1,63 @@
+// Dataset: labelled image collections and the dataset registry.
+//
+// The paper evaluates on MNIST, Fashion-MNIST and CIFAR10. Those files are
+// not available in this offline environment, so the library ships three
+// procedural synthetic analogues (see DESIGN.md §1 for the substitution
+// rationale):
+//   kDigits  — 28x28 gray glyph renderings            (MNIST analogue)
+//   kFashion — 28x28 gray textured garment silhouettes (Fashion analogue)
+//   kObjects — 32x32 RGB shape/texture/color scenes    (CIFAR10 analogue)
+// Generators emit raw pixels in [0, 255] (like the original files); the
+// preprocessing module scales them to [-1, 1] exactly as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::data {
+
+struct Dataset {
+  Tensor images;                     // [N, C, H, W]
+  std::vector<std::int64_t> labels;  // N entries in [0, num_classes)
+  std::int64_t num_classes = 10;
+  std::string name;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Per-class sample counts (length num_classes).
+  std::vector<std::int64_t> class_histogram() const;
+
+  /// Row `i` as a [1, C, H, W] tensor plus its label.
+  Tensor image(std::int64_t i) const;
+  std::int64_t label(std::int64_t i) const { return labels.at(static_cast<std::size_t>(i)); }
+
+  /// Subset by row indices, preserving order.
+  Dataset subset(const std::vector<std::int64_t>& indices) const;
+
+  /// Throws InvalidArgument if images/labels disagree or labels are out of
+  /// range; called by every consumer that receives an external dataset.
+  void validate() const;
+};
+
+enum class DatasetId { kDigits, kFashion, kObjects };
+
+/// "synth-digits" / "synth-fashion" / "synth-objects".
+std::string dataset_name(DatasetId id);
+
+/// Generates `num_samples` examples with balanced classes. Raw pixel range
+/// is [0, 255]; run preprocess::scale_pixels before training.
+Dataset make_dataset(DatasetId id, std::int64_t num_samples, Rng& rng);
+
+// Direct generator entry points (same contract as make_dataset).
+Dataset make_synth_digits(std::int64_t num_samples, Rng& rng);
+Dataset make_synth_fashion(std::int64_t num_samples, Rng& rng);
+Dataset make_synth_objects(std::int64_t num_samples, Rng& rng);
+
+}  // namespace zkg::data

@@ -1,0 +1,36 @@
+// Glyph bitmaps and raster helpers shared by the synthetic dataset
+// generators. Bitmaps are ASCII art: '#' marks foreground, '.' background,
+// '+' half-intensity foreground (used for garment texture seams).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zkg::data {
+
+using Glyph = std::vector<std::string>;
+
+/// 7x5 bitmap of the decimal digit `d` (0-9).
+const Glyph& digit_glyph(std::int64_t d);
+
+/// 14x10 garment silhouette for Fashion class `c` (0-9): t-shirt, trouser,
+/// pullover, dress, coat, sandal, shirt, sneaker, bag, ankle boot.
+const Glyph& fashion_glyph(std::int64_t c);
+
+/// Pastes `glyph` into a single-channel `height`x`width` plane (row-major,
+/// values accumulate saturating at `intensity`). The glyph is scaled by the
+/// integer factor `scale` and placed with its top-left corner at (dy, dx);
+/// parts falling outside the plane are clipped.
+void draw_glyph(float* plane, std::int64_t height, std::int64_t width,
+                const Glyph& glyph, std::int64_t scale, std::int64_t dy,
+                std::int64_t dx, float intensity);
+
+/// Bounding box of a glyph in plane pixels after scaling.
+struct GlyphExtent {
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+};
+GlyphExtent glyph_extent(const Glyph& glyph, std::int64_t scale);
+
+}  // namespace zkg::data

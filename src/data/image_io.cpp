@@ -1,0 +1,56 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace zkg::data {
+namespace {
+
+unsigned char to_byte(float value) {
+  const float unit = (std::clamp(value, -1.0f, 1.0f) + 1.0f) * 0.5f;
+  return static_cast<unsigned char>(std::lround(unit * 255.0f));
+}
+
+}  // namespace
+
+void write_netpbm(std::ostream& out, const Tensor& image) {
+  Tensor squeezed = image;
+  if (squeezed.ndim() == 4) {
+    ZKG_CHECK(squeezed.dim(0) == 1)
+        << " write_netpbm wants a single image, got batch of "
+        << squeezed.dim(0);
+    squeezed = squeezed.reshape(
+        {squeezed.dim(1), squeezed.dim(2), squeezed.dim(3)});
+  }
+  ZKG_CHECK(squeezed.ndim() == 3) << " write_netpbm wants [C, H, W], got "
+                                  << shape_to_string(image.shape());
+  const std::int64_t channels = squeezed.dim(0);
+  const std::int64_t height = squeezed.dim(1);
+  const std::int64_t width = squeezed.dim(2);
+  ZKG_CHECK(channels == 1 || channels == 3)
+      << " write_netpbm supports 1 or 3 channels, got " << channels;
+
+  out << (channels == 1 ? "P5" : "P6") << "\n"
+      << width << " " << height << "\n255\n";
+  const float* data = squeezed.data();
+  const std::int64_t plane = height * width;
+  for (std::int64_t p = 0; p < plane; ++p) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const unsigned char byte = to_byte(data[c * plane + p]);
+      out.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+  }
+  if (!out) throw SerializationError("failed to write netpbm image");
+}
+
+void save_netpbm(const std::string& path, const Tensor& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializationError("cannot open " + path + " for writing");
+  write_netpbm(out, image);
+}
+
+}  // namespace zkg::data

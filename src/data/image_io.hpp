@@ -1,0 +1,22 @@
+// Netpbm export for visual inspection of synthetic datasets and adversarial
+// examples: PGM (gray, P5) for 1-channel images, PPM (colour, P6) for
+// 3-channel images. Inputs are single images in the library's [-1, 1] pixel
+// scale.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace zkg::data {
+
+/// Writes `image` ([1, C, H, W] or [C, H, W], C in {1, 3}, pixels in
+/// [-1, 1]) as binary PGM/PPM. Values outside [-1, 1] are clamped.
+void write_netpbm(std::ostream& out, const Tensor& image);
+
+/// File convenience; throws SerializationError on IO failure. Use a .pgm
+/// extension for gray images and .ppm for colour.
+void save_netpbm(const std::string& path, const Tensor& image);
+
+}  // namespace zkg::data

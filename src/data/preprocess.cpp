@@ -1,0 +1,54 @@
+#include "data/preprocess.hpp"
+
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::data {
+
+Tensor scale_pixels(const Tensor& raw) {
+  // [0, 255] -> [-1, 1]
+  Tensor out = mul(raw, 2.0f / 255.0f);
+  add_(out, -1.0f);
+  return out;
+}
+
+Dataset scale_pixels(const Dataset& raw) {
+  Dataset out = raw;
+  out.images = scale_pixels(raw.images);
+  return out;
+}
+
+Tensor unscale_pixels(const Tensor& scaled) {
+  Tensor out = add(scaled, 1.0f);
+  mul_(out, 255.0f / 2.0f);
+  return out;
+}
+
+TrainTestSplit separate(const Dataset& full, std::int64_t test_count,
+                        Rng& rng) {
+  full.validate();
+  ZKG_CHECK(test_count > 0 && test_count < full.size())
+      << " test_count " << test_count << " of " << full.size();
+  std::vector<std::int64_t> perm = rng.permutation(full.size());
+  const std::vector<std::int64_t> test_idx(perm.begin(),
+                                           perm.begin() + test_count);
+  const std::vector<std::int64_t> train_idx(perm.begin() + test_count,
+                                            perm.end());
+  return {full.subset(train_idx), full.subset(test_idx)};
+}
+
+Tensor gaussian_augment(const Tensor& images, Rng& rng, float sigma) {
+  ZKG_CHECK(sigma >= 0.0f) << " sigma " << sigma;
+  Tensor noise = randn(images.shape(), rng, 0.0f, sigma);
+  Tensor out = add(images, noise);
+  clamp_(out, kPixelMin, kPixelMax);
+  return out;
+}
+
+Tensor project_valid(const Tensor& images) {
+  return clamp(images, kPixelMin, kPixelMax);
+}
+
+}  // namespace zkg::data

@@ -1,0 +1,50 @@
+#include "defense/adv_training.hpp"
+
+#include "attacks/fgsm.hpp"
+#include "attacks/pgd.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace zkg::defense {
+
+AdversarialTrainer::AdversarialTrainer(models::Classifier& model,
+                                       TrainConfig config,
+                                       attacks::AttackPtr attack,
+                                       std::string display_name)
+    : Trainer(model, config),
+      attack_(std::move(attack)),
+      display_name_(std::move(display_name)) {
+  ZKG_CHECK(attack_ != nullptr) << " AdversarialTrainer without attack";
+}
+
+Trainer::BatchStats AdversarialTrainer::train_batch(const data::Batch& batch) {
+  const Tensor adversarial =
+      attack_->generate(model_, batch.images, batch.labels);
+
+  const Tensor combined = concat_rows(batch.images, adversarial);
+  std::vector<std::int64_t> labels = batch.labels;
+  labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
+
+  model_.zero_grad();
+  const Tensor logits = model_.forward(combined, /*training=*/true);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  model_.backward(loss.grad);
+  optimizer_->step();
+  model_.zero_grad();
+  return {loss.value, 0.0f};
+}
+
+TrainerPtr make_fgsm_adv(models::Classifier& model, TrainConfig config) {
+  return std::make_unique<AdversarialTrainer>(
+      model, config, std::make_unique<attacks::Fgsm>(config.attack),
+      "FGSM-Adv");
+}
+
+TrainerPtr make_pgd_adv(models::Classifier& model, TrainConfig config) {
+  Rng attack_rng(config.seed ^ 0xadf00dULL);
+  return std::make_unique<AdversarialTrainer>(
+      model, config,
+      std::make_unique<attacks::Pgd>(config.attack, attack_rng), "PGD-Adv");
+}
+
+}  // namespace zkg::defense

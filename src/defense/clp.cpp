@@ -1,0 +1,40 @@
+#include "defense/clp.hpp"
+
+#include "data/preprocess.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace zkg::defense {
+
+Trainer::BatchStats ClpTrainer::train_batch(const data::Batch& batch) {
+  const std::int64_t half = batch.size() / 2;
+  if (half == 0) return {0.0f, 0.0f};  // cannot pair a single example
+
+  // Both pair members are Gaussian-perturbed examples (CLP never sees clean
+  // inputs — a root cause of its CIFAR10 convergence failure, §V-D).
+  const Tensor perturbed =
+      data::gaussian_augment(batch.images, noise_rng_, config_.sigma);
+
+  model_.zero_grad();
+  const Tensor logits =
+      model_.forward(perturbed.slice_rows(0, 2 * half), /*training=*/true);
+  const std::vector<std::int64_t> labels(batch.labels.begin(),
+                                         batch.labels.begin() + 2 * half);
+
+  const nn::LossResult ce = nn::softmax_cross_entropy(logits, labels);
+  const Tensor z1 = logits.slice_rows(0, half);
+  const Tensor z2 = logits.slice_rows(half, 2 * half);
+  const nn::PairPenaltyResult pair =
+      nn::clean_logit_pairing(z1, z2, config_.lambda);
+
+  Tensor grad = ce.grad;
+  Tensor pair_grad = concat_rows(pair.grad_a, pair.grad_b);
+  add_(grad, pair_grad);
+
+  model_.backward(grad);
+  optimizer_->step();
+  model_.zero_grad();
+  return {ce.value + pair.value, 0.0f};
+}
+
+}  // namespace zkg::defense

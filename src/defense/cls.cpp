@@ -1,0 +1,28 @@
+#include "defense/cls.hpp"
+
+#include "data/preprocess.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace zkg::defense {
+
+Trainer::BatchStats ClsTrainer::train_batch(const data::Batch& batch) {
+  const Tensor perturbed =
+      data::gaussian_augment(batch.images, noise_rng_, config_.sigma);
+
+  model_.zero_grad();
+  const Tensor logits = model_.forward(perturbed, /*training=*/true);
+  const nn::LossResult ce = nn::softmax_cross_entropy(logits, batch.labels);
+  const nn::LossResult squeeze =
+      nn::clean_logit_squeezing(logits, config_.lambda);
+
+  Tensor grad = ce.grad;
+  add_(grad, squeeze.grad);
+
+  model_.backward(grad);
+  optimizer_->step();
+  model_.zero_grad();
+  return {ce.value + squeeze.value, 0.0f};
+}
+
+}  // namespace zkg::defense

@@ -1,0 +1,25 @@
+#include "defense/pgd_gandef.hpp"
+
+namespace zkg::defense {
+namespace {
+
+Rng attack_seed_rng(const TrainConfig& config) {
+  return Rng(config.seed ^ 0x96dfULL);
+}
+
+}  // namespace
+
+PgdGanDefTrainer::PgdGanDefTrainer(models::Classifier& model,
+                                   TrainConfig config)
+    : GanDefTrainerBase(model, config),
+      attack_([&] {
+        Rng seed = attack_seed_rng(config);
+        return attacks::Pgd(config.attack, seed);
+      }()) {}
+
+Tensor PgdGanDefTrainer::make_perturbed(
+    const Tensor& images, const std::vector<std::int64_t>& labels) {
+  return attack_.generate(model_, images, labels);
+}
+
+}  // namespace zkg::defense

@@ -1,0 +1,79 @@
+#include "defense/trainer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+
+namespace zkg::defense {
+
+double TrainResult::mean_epoch_seconds() const {
+  if (epochs.empty()) return 0.0;
+  double total = 0.0;
+  for (const EpochStats& e : epochs) total += e.seconds;
+  return total / static_cast<double>(epochs.size());
+}
+
+float TrainResult::final_loss() const {
+  return epochs.empty() ? 0.0f : epochs.back().classifier_loss;
+}
+
+bool TrainResult::converged() const {
+  if (epochs.size() < 2) return false;
+  const float first = epochs.front().classifier_loss;
+  const float last = epochs.back().classifier_loss;
+  if (!std::isfinite(last)) return false;
+  return last < 0.9f * first;
+}
+
+Trainer::Trainer(models::Classifier& model, TrainConfig config)
+    : model_(model), config_(config), rng_(config.seed) {
+  ZKG_CHECK(config_.epochs > 0 && config_.batch_size > 0)
+      << " TrainConfig(epochs=" << config_.epochs
+      << ", batch_size=" << config_.batch_size << ")";
+  optimizer_ = std::make_unique<optim::Adam>(
+      model_.parameters(), optim::AdamConfig{.learning_rate =
+                                                 config_.learning_rate});
+}
+
+EpochStats Trainer::fit_epoch(data::Batcher& batcher,
+                              std::int64_t epoch_index) {
+  Stopwatch watch;
+  batcher.start_epoch();
+  double loss_sum = 0.0;
+  double disc_sum = 0.0;
+  std::int64_t batches = 0;
+  while (auto batch = batcher.next()) {
+    const BatchStats stats = train_batch(*batch);
+    loss_sum += stats.classifier_loss;
+    disc_sum += stats.discriminator_loss;
+    ++batches;
+  }
+  EpochStats stats;
+  stats.epoch = epoch_index;
+  stats.classifier_loss =
+      batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+  stats.discriminator_loss =
+      batches > 0 ? static_cast<float>(disc_sum / batches) : 0.0f;
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+TrainResult Trainer::fit(const data::Dataset& train) {
+  data::Batcher batcher(train, config_.batch_size, rng_);
+  TrainResult result;
+  Stopwatch watch;
+  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const EpochStats stats = fit_epoch(batcher, epoch);
+    if (config_.verbose) {
+      log::info() << name() << " epoch " << epoch << ": loss "
+                  << stats.classifier_loss << " ("
+                  << stats.seconds << "s)";
+    }
+    result.epochs.push_back(stats);
+  }
+  result.total_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace zkg::defense

@@ -1,0 +1,96 @@
+// Trainer: the defense interface. Each defense from the paper's evaluation
+// (Vanilla, CLP, CLS, ZK-GanDef, FGSM-Adv, PGD-Adv, PGD-GanDef) is a Trainer
+// subclass that decides how a mini-batch turns into gradients; the base
+// class owns the epoch loop, the Adam optimizer and the timing bookkeeping
+// that feeds the Figure 5 experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/rng.hpp"
+#include "data/batcher.hpp"
+#include "data/dataset.hpp"
+#include "models/classifier.hpp"
+#include "optim/adam.hpp"
+
+namespace zkg::defense {
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 64;
+  float learning_rate = 1e-3f;  // Adam, per the paper
+
+  // Zero-knowledge settings.
+  float sigma = 1.0f;   // Gaussian augmentation stddev (paper: 1.0)
+  float lambda = 0.4f;  // CLP/CLS penalty weight (paper: 0.4)
+
+  // GanDef settings.
+  float gamma = 0.1f;          // discriminator trade-off (paper's gamma)
+  std::int64_t disc_steps = 1; // discriminator updates per classifier update
+  float disc_learning_rate = 1e-3f;  // Adam, per the paper (0.001)
+
+  // Full-knowledge settings (FGSM-Adv / PGD-Adv / PGD-GanDef).
+  attacks::AttackBudget attack;
+
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  float classifier_loss = 0.0f;    // mean over batches
+  float discriminator_loss = 0.0f; // GanDef trainers only
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+
+  double mean_epoch_seconds() const;
+  float final_loss() const;
+  /// True when the final loss is finite and decreased vs. the first epoch —
+  /// the signal the paper's §V-D convergence study looks at.
+  bool converged() const;
+};
+
+class Trainer {
+ public:
+  Trainer(models::Classifier& model, TrainConfig config);
+  virtual ~Trainer() = default;
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Runs config.epochs epochs over `train` (pixels already in [-1, 1]).
+  TrainResult fit(const data::Dataset& train);
+
+  /// Runs exactly one epoch; exposed for convergence studies.
+  EpochStats fit_epoch(data::Batcher& batcher, std::int64_t epoch_index);
+
+  models::Classifier& model() { return model_; }
+  const TrainConfig& config() const { return config_; }
+
+ protected:
+  struct BatchStats {
+    float classifier_loss = 0.0f;
+    float discriminator_loss = 0.0f;
+  };
+
+  /// Consumes one mini-batch: computes losses, updates weights.
+  virtual BatchStats train_batch(const data::Batch& batch) = 0;
+
+  models::Classifier& model_;
+  TrainConfig config_;
+  Rng rng_;
+  std::unique_ptr<optim::Adam> optimizer_;
+};
+
+using TrainerPtr = std::unique_ptr<Trainer>;
+
+}  // namespace zkg::defense

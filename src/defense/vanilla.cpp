@@ -1,0 +1,17 @@
+#include "defense/vanilla.hpp"
+
+#include "nn/loss.hpp"
+
+namespace zkg::defense {
+
+Trainer::BatchStats VanillaTrainer::train_batch(const data::Batch& batch) {
+  model_.zero_grad();
+  const Tensor logits = model_.forward(batch.images, /*training=*/true);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
+  model_.backward(loss.grad);
+  optimizer_->step();
+  model_.zero_grad();
+  return {loss.value, 0.0f};
+}
+
+}  // namespace zkg::defense

@@ -1,0 +1,99 @@
+#include "defense/zk_gandef.hpp"
+
+#include "data/preprocess.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace zkg::defense {
+
+GanDefTrainerBase::GanDefTrainerBase(models::Classifier& model,
+                                     TrainConfig config)
+    : Trainer(model, config),
+      discriminator_(model.spec().num_classes, rng_) {
+  ZKG_CHECK(config_.gamma >= 0.0f) << " gamma " << config_.gamma;
+  ZKG_CHECK(config_.disc_steps >= 1) << " disc_steps " << config_.disc_steps;
+  disc_optimizer_ = std::make_unique<optim::Adam>(
+      discriminator_.parameters(),
+      optim::AdamConfig{.learning_rate = config_.disc_learning_rate});
+}
+
+float GanDefTrainerBase::update_discriminator(const Tensor& class_logits,
+                                              const Tensor& source_flags) {
+  discriminator_.zero_grad();
+  const Tensor d_logits = discriminator_.forward(class_logits, /*training=*/true);
+  const nn::LossResult bce = nn::bce_with_logits(d_logits, source_flags);
+  discriminator_.backward(bce.grad);
+  disc_optimizer_->step();
+  discriminator_.zero_grad();
+
+  // Diagnostic accuracy of the source predictions.
+  const Tensor probs = nn::sigmoid(d_logits);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < probs.numel(); ++i) {
+    const bool said_perturbed = probs[i] > 0.5f;
+    const bool is_perturbed = source_flags[i] > 0.5f;
+    if (said_perturbed == is_perturbed) ++correct;
+  }
+  last_disc_accuracy_ =
+      static_cast<float>(correct) / static_cast<float>(probs.numel());
+  return bce.value;
+}
+
+float GanDefTrainerBase::update_classifier(
+    const Tensor& images, const std::vector<std::int64_t>& labels,
+    const Tensor& source_flags) {
+  model_.zero_grad();
+  const Tensor logits = model_.forward(images, /*training=*/true);
+  const nn::LossResult ce = nn::softmax_cross_entropy(logits, labels);
+
+  // Gradient of the (frozen) discriminator's BCE w.r.t. the logits. The
+  // backward pass accumulates into D's parameters too; those are discarded
+  // by the zero_grad below, which is exactly "fix Omega_D" in Algorithm 1.
+  const Tensor d_logits = discriminator_.forward(logits, /*training=*/true);
+  const nn::LossResult bce = nn::bce_with_logits(d_logits, source_flags);
+  const Tensor bce_grad_wrt_logits = discriminator_.backward(bce.grad);
+  discriminator_.zero_grad();
+
+  // min_C  CE - gamma * BCE  =>  dL/dz = dCE/dz - gamma * dBCE/dz.
+  Tensor grad = ce.grad;
+  axpy_(grad, -config_.gamma, bce_grad_wrt_logits);
+
+  model_.backward(grad);
+  optimizer_->step();
+  model_.zero_grad();
+  return ce.value;
+}
+
+Trainer::BatchStats GanDefTrainerBase::train_batch(const data::Batch& batch) {
+  // Evenly sampled clean and perturbed halves (Algorithm 1 lines 4/9). The
+  // whole batch contributes in both roles: clean copies first, perturbed
+  // copies second.
+  const Tensor perturbed = make_perturbed(batch.images, batch.labels);
+  const Tensor combined = concat_rows(batch.images, perturbed);
+  std::vector<std::int64_t> labels = batch.labels;
+  labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
+
+  Tensor source_flags({2 * batch.size(), 1});
+  for (std::int64_t i = batch.size(); i < 2 * batch.size(); ++i) {
+    source_flags[i] = 1.0f;  // 1 = perturbed
+  }
+
+  // Discriminator iterations (classifier frozen: forward only, no update).
+  float disc_loss = 0.0f;
+  for (std::int64_t step = 0; step < config_.disc_steps; ++step) {
+    const Tensor logits = model_.forward(combined, /*training=*/true);
+    disc_loss = update_discriminator(logits, source_flags);
+  }
+  model_.zero_grad();
+
+  // One classifier update (discriminator frozen).
+  const float ce = update_classifier(combined, labels, source_flags);
+  return {ce, disc_loss};
+}
+
+Tensor ZkGanDefTrainer::make_perturbed(
+    const Tensor& images, const std::vector<std::int64_t>& /*labels*/) {
+  return data::gaussian_augment(images, noise_rng_, config_.sigma);
+}
+
+}  // namespace zkg::defense

@@ -1,0 +1,70 @@
+// ZK-GanDef — the paper's primary contribution (§III).
+//
+// A classifier C and a discriminator D (paper Table II) play the minimax
+// game
+//     min_C max_D  E[-log qC(z|x)] - gamma * E[-log qD(s|z = C(x))]
+// where x is drawn evenly from clean and perturbed examples and s flags the
+// source. Algorithm 1: per global iteration, `disc_steps` discriminator
+// updates with C frozen, then one classifier update with D frozen; the
+// classifier's logit gradient is  dCE/dz - gamma * dBCE/dz,  the second term
+// back-propagated through D.
+//
+// GanDefTrainerBase implements the game; the subclasses differ only in how
+// the perturbed half of each batch is produced:
+//   ZkGanDefTrainer  — Gaussian noise (zero knowledge),
+//   PgdGanDefTrainer — PGD adversarial examples (full knowledge), declared
+//                      in pgd_gandef.hpp.
+#pragma once
+
+#include "defense/trainer.hpp"
+#include "models/discriminator.hpp"
+
+namespace zkg::defense {
+
+class GanDefTrainerBase : public Trainer {
+ public:
+  GanDefTrainerBase(models::Classifier& model, TrainConfig config);
+
+  models::Discriminator& discriminator() { return discriminator_; }
+
+  /// Mean discriminator accuracy on the last trained batch (diagnostic: at
+  /// the game's equilibrium this decays toward 0.5).
+  float last_discriminator_accuracy() const { return last_disc_accuracy_; }
+
+ protected:
+  BatchStats train_batch(const data::Batch& batch) override;
+
+  /// Produces the perturbed counterpart of `images` (defense-specific).
+  virtual Tensor make_perturbed(const Tensor& images,
+                                const std::vector<std::int64_t>& labels) = 0;
+
+ private:
+  /// One discriminator update on frozen classifier logits. Returns BCE.
+  float update_discriminator(const Tensor& class_logits,
+                             const Tensor& source_flags);
+  /// One classifier update with frozen discriminator. Returns CE.
+  float update_classifier(const Tensor& images,
+                          const std::vector<std::int64_t>& labels,
+                          const Tensor& source_flags);
+
+  models::Discriminator discriminator_;
+  std::unique_ptr<optim::Adam> disc_optimizer_;
+  float last_disc_accuracy_ = 0.0f;
+};
+
+class ZkGanDefTrainer : public GanDefTrainerBase {
+ public:
+  ZkGanDefTrainer(models::Classifier& model, TrainConfig config)
+      : GanDefTrainerBase(model, config), noise_rng_(rng_.fork()) {}
+
+  std::string name() const override { return "ZK-GanDef"; }
+
+ protected:
+  Tensor make_perturbed(const Tensor& images,
+                        const std::vector<std::int64_t>& labels) override;
+
+ private:
+  Rng noise_rng_;
+};
+
+}  // namespace zkg::defense

@@ -1,0 +1,152 @@
+// Experiment drivers: one entry point per paper table/figure (DESIGN.md §4).
+//
+// Every driver is parameterised by an ExperimentScale. scale_for() returns
+// the CPU-sized kBench scale by default and the published kPaper scale when
+// the ZKG_PRESET=paper environment variable is set; individual knobs can be
+// overridden via ZKG_TRAIN / ZKG_TEST / ZKG_EPOCHS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/table.hpp"
+#include "data/dataset.hpp"
+#include "defense/registry.hpp"
+#include "eval/evaluator.hpp"
+#include "models/classifier.hpp"
+
+namespace zkg::eval {
+
+struct ExperimentScale {
+  models::Preset model_preset = models::Preset::kBench;
+  std::int64_t train_samples = 1600;
+  std::int64_t test_samples = 250;
+  std::int64_t epochs = 20;
+  std::int64_t batch_size = 64;
+  std::int64_t eval_batch = 100;
+  std::int64_t generalizability_samples = 128;  // Table IV subset
+
+  attacks::AttackBudget fgsm;          // evaluation budgets
+  attacks::AttackBudget bim;
+  attacks::AttackBudget pgd;
+  attacks::AttackBudget train_attack;  // full-knowledge training budget
+
+  // Defense hyper-parameters. kPaper keeps the published values
+  // (lambda = 0.4, input dropout 0.2); kBench uses the line-searched
+  // equivalents at this scale (EXPERIMENTS.md records the search).
+  float sigma = 1.0f;
+  float lambda = 0.1f;
+  float gamma = 0.05f;
+  float input_dropout = 0.05f;  // allCNN only
+};
+
+/// Scale for `id`, honouring ZKG_PRESET / ZKG_TRAIN / ZKG_TEST / ZKG_EPOCHS.
+ExperimentScale scale_for(data::DatasetId id);
+
+/// Generates, scales to [-1, 1] and splits the synthetic dataset.
+struct PreparedData {
+  data::Dataset train;
+  data::Dataset test;
+};
+PreparedData prepare_data(data::DatasetId id, const ExperimentScale& scale,
+                          Rng& rng);
+
+/// LeNet for the 28x28 gray datasets, allCNN for synth-objects — mirroring
+/// the paper's per-dataset Vanilla structures.
+models::Classifier build_model_for(data::DatasetId id,
+                                   const ExperimentScale& scale, Rng& rng);
+
+// ---------------------------------------------------------------- Table III
+
+struct DefenseRun {
+  defense::DefenseId id;
+  std::string name;
+  double acc_original = 0.0;
+  double acc_fgsm = 0.0;
+  double acc_bim = 0.0;
+  double acc_pgd = 0.0;
+  double seconds_per_epoch = 0.0;
+  float final_loss = 0.0f;
+  bool converged = false;
+};
+
+struct Table3Result {
+  data::DatasetId dataset;
+  std::vector<DefenseRun> rows;
+
+  const DefenseRun& row(defense::DefenseId id) const;
+  /// The Table III accuracy grid.
+  Table accuracy_table() const;
+  /// The same data as Figure 4 series (one line per defense).
+  Table figure4_series() const;
+  /// §V-A headline numbers: ZK-GanDef's best gain over {CLP, CLS} and worst
+  /// gap to {FGSM/PGD-Adv, PGD-GanDef} across adversarial columns.
+  std::string headline_summary() const;
+};
+
+/// Trains every defense in `defenses` from an identical initial model and
+/// evaluates on original/FGSM/BIM/PGD examples.
+Table3Result run_table3(data::DatasetId id,
+                        const std::vector<defense::DefenseId>& defenses,
+                        std::uint64_t seed);
+
+// ----------------------------------------------------------------- Table IV
+
+struct Table4Row {
+  data::DatasetId dataset;
+  double deepfool_accuracy = 0.0;
+  double cw_accuracy = 0.0;
+  double clean_accuracy = 0.0;
+};
+
+/// Trains ZK-GanDef and evaluates it on DeepFool and CW examples.
+Table4Row run_table4(data::DatasetId id, std::uint64_t seed);
+
+// ------------------------------------------------- Figure 5 (left / middle)
+
+struct TrainingTimeRow {
+  std::string defense;
+  double seconds_per_epoch = 0.0;
+};
+
+/// Per-epoch training time of {ZK-GanDef, FGSM-Adv, PGD-Adv, PGD-GanDef}.
+std::vector<TrainingTimeRow> run_training_time(data::DatasetId id,
+                                               std::uint64_t seed,
+                                               std::int64_t epochs = 2);
+
+// -------------------------------------------------------- Figure 5 (right)
+
+struct LossCurve {
+  float sigma = 0.0f;
+  float lambda = 0.0f;
+  std::vector<float> losses;  // one per epoch; may contain NaN on divergence
+  bool converged = false;
+};
+
+/// CLS training-loss curves under the paper's four (sigma, lambda) settings.
+std::vector<LossCurve> run_cls_convergence(data::DatasetId id,
+                                           std::uint64_t seed,
+                                           std::int64_t epochs = 8);
+
+// ------------------------------------------------------------- Ablations
+
+struct AblationPoint {
+  float value = 0.0f;  // swept hyper-parameter
+  double acc_original = 0.0;
+  double acc_pgd = 0.0;
+};
+
+/// Sweeps ZK-GanDef's gamma (gamma = 0 reduces to Gaussian-augmentation
+/// training, §III-D).
+std::vector<AblationPoint> run_gamma_ablation(data::DatasetId id,
+                                              const std::vector<float>& gammas,
+                                              std::uint64_t seed);
+
+/// Sweeps the augmentation sigma.
+std::vector<AblationPoint> run_sigma_ablation(data::DatasetId id,
+                                              const std::vector<float>& sigmas,
+                                              std::uint64_t seed);
+
+}  // namespace zkg::eval

@@ -1,0 +1,111 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zkg::eval {
+
+double accuracy(const std::vector<std::int64_t>& predictions,
+                const std::vector<std::int64_t>& labels) {
+  ZKG_CHECK(predictions.size() == labels.size() && !labels.empty())
+      << " accuracy over " << predictions.size() << " predictions / "
+      << labels.size() << " labels";
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  ZKG_CHECK(num_classes > 0) << " ConfusionMatrix(" << num_classes << ")";
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  ZKG_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+            predicted < num_classes_)
+      << " confusion add(" << truth << ", " << predicted << ")";
+  ++cells_[static_cast<std::size_t>(truth * num_classes_ + predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(const std::vector<std::int64_t>& truths,
+                              const std::vector<std::int64_t>& predictions) {
+  ZKG_CHECK(truths.size() == predictions.size())
+      << " confusion add_all size mismatch";
+  for (std::size_t i = 0; i < truths.size(); ++i) add(truths[i], predictions[i]);
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t predicted) const {
+  ZKG_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+            predicted < num_classes_)
+      << " confusion count(" << truth << ", " << predicted << ")";
+  return cells_[static_cast<std::size_t>(truth * num_classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::per_class_recall(std::int64_t c) const {
+  std::int64_t row_total = 0;
+  for (std::int64_t p = 0; p < num_classes_; ++p) row_total += count(c, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(row_total);
+}
+
+PerturbationStats perturbation_stats(const Tensor& original,
+                                     const Tensor& adversarial) {
+  check_same_shape(original, adversarial, "perturbation_stats");
+  ZKG_CHECK(original.ndim() >= 1 && original.dim(0) > 0)
+      << " perturbation_stats over empty batch";
+  const std::int64_t batch = original.dim(0);
+  const std::int64_t stride = original.numel() / batch;
+
+  PerturbationStats stats;
+  double linf_sum = 0.0;
+  double l2_sum = 0.0;
+  const float* po = original.data();
+  const float* pa = adversarial.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    float linf = 0.0f;
+    double l2 = 0.0;
+    for (std::int64_t p = 0; p < stride; ++p) {
+      const float d = pa[i * stride + p] - po[i * stride + p];
+      linf = std::max(linf, std::fabs(d));
+      l2 += static_cast<double>(d) * d;
+    }
+    linf_sum += linf;
+    l2_sum += std::sqrt(l2);
+    stats.max_linf = std::max(stats.max_linf, linf);
+  }
+  stats.mean_linf = static_cast<float>(linf_sum / batch);
+  stats.mean_l2 = static_cast<float>(l2_sum / batch);
+  return stats;
+}
+
+double attack_success_rate(const std::vector<std::int64_t>& labels,
+                           const std::vector<std::int64_t>& clean_predictions,
+                           const std::vector<std::int64_t>& adv_predictions) {
+  ZKG_CHECK(labels.size() == clean_predictions.size() &&
+            labels.size() == adv_predictions.size())
+      << " attack_success_rate size mismatch";
+  std::size_t base = 0;
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (clean_predictions[i] != labels[i]) continue;
+    ++base;
+    if (adv_predictions[i] != labels[i]) ++flipped;
+  }
+  if (base == 0) return 0.0;
+  return static_cast<double>(flipped) / static_cast<double>(base);
+}
+
+}  // namespace zkg::eval

@@ -1,0 +1,53 @@
+// Classification and robustness metrics (paper §IV-E).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace zkg::eval {
+
+/// Fraction of positions where predictions == labels.
+double accuracy(const std::vector<std::int64_t>& predictions,
+                const std::vector<std::int64_t>& labels);
+
+/// Row-major confusion matrix [num_classes x num_classes];
+/// entry (t, p) counts examples of true class t predicted as p.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void add(std::int64_t truth, std::int64_t predicted);
+  void add_all(const std::vector<std::int64_t>& truths,
+               const std::vector<std::int64_t>& predictions);
+
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+  std::int64_t total() const { return total_; }
+  double accuracy() const;
+  /// Recall of class `c` (0 when the class never occurs).
+  double per_class_recall(std::int64_t c) const;
+  std::int64_t num_classes() const { return num_classes_; }
+
+ private:
+  std::int64_t num_classes_;
+  std::vector<std::int64_t> cells_;
+  std::int64_t total_ = 0;
+};
+
+/// Perturbation statistics of an adversarial batch vs. its originals.
+struct PerturbationStats {
+  float mean_linf = 0.0f;  // mean over examples of max-abs pixel delta
+  float max_linf = 0.0f;
+  float mean_l2 = 0.0f;    // mean over examples of per-example l2 delta
+};
+PerturbationStats perturbation_stats(const Tensor& original,
+                                     const Tensor& adversarial);
+
+/// Fraction of examples whose prediction flipped away from the label after
+/// the attack, among those originally classified correctly.
+double attack_success_rate(const std::vector<std::int64_t>& labels,
+                           const std::vector<std::int64_t>& clean_predictions,
+                           const std::vector<std::int64_t>& adv_predictions);
+
+}  // namespace zkg::eval

@@ -1,0 +1,47 @@
+#include "models/allcnn.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pooling.hpp"
+
+namespace zkg::models {
+namespace {
+
+void add_conv_relu(nn::Sequential& net, std::int64_t c_in, std::int64_t c_out,
+                   std::int64_t kernel, std::int64_t stride,
+                   std::int64_t padding, Rng& rng) {
+  net.emplace<nn::Conv2d>(nn::Conv2dConfig{c_in, c_out, kernel, stride, padding},
+                          rng);
+  net.emplace<nn::ReLU>();
+}
+
+}  // namespace
+
+Classifier build_allcnn(const InputSpec& spec, Preset preset, Rng& rng,
+                        float input_dropout) {
+  nn::Sequential net;
+  if (input_dropout > 0.0f) net.emplace<nn::Dropout>(input_dropout, rng);
+
+  if (preset == Preset::kPaper) {
+    add_conv_relu(net, spec.channels, 96, 3, 1, 1, rng);
+    add_conv_relu(net, 96, 96, 3, 1, 1, rng);
+    add_conv_relu(net, 96, 96, 3, 2, 1, rng);  // "pooling" conv
+    add_conv_relu(net, 96, 192, 3, 1, 1, rng);
+    add_conv_relu(net, 192, 192, 3, 1, 1, rng);
+    add_conv_relu(net, 192, 192, 3, 2, 1, rng);
+    add_conv_relu(net, 192, 192, 3, 1, 1, rng);
+    add_conv_relu(net, 192, 192, 1, 1, 0, rng);
+    add_conv_relu(net, 192, spec.num_classes, 1, 1, 0, rng);
+  } else {
+    add_conv_relu(net, spec.channels, 16, 3, 1, 1, rng);
+    add_conv_relu(net, 16, 16, 3, 2, 1, rng);
+    add_conv_relu(net, 16, 32, 3, 1, 1, rng);
+    add_conv_relu(net, 32, 32, 3, 2, 1, rng);
+    add_conv_relu(net, 32, spec.num_classes, 1, 1, 0, rng);
+  }
+  net.emplace<nn::GlobalAvgPool>();
+  return Classifier("allcnn", spec, std::move(net));
+}
+
+}  // namespace zkg::models

@@ -1,0 +1,18 @@
+// allCNN-style classifier (Springenberg et al., "Striving for Simplicity") —
+// the paper's Vanilla architecture for CIFAR10. Fully convolutional with
+// input dropout and a global-average-pooled class head.
+#pragma once
+
+#include "common/rng.hpp"
+#include "models/classifier.hpp"
+
+namespace zkg::models {
+
+/// kPaper: the published All-CNN-C shape (96/192 channel stacks).
+/// kBench: the same topology at 16/32 channels for CPU-scale runs.
+/// `input_dropout` matches the paper's note that allCNN's input dropout
+/// inhibits FGSM-Adv overfitting; pass 0 to ablate it.
+Classifier build_allcnn(const InputSpec& spec, Preset preset, Rng& rng,
+                        float input_dropout = 0.2f);
+
+}  // namespace zkg::models

@@ -1,0 +1,45 @@
+#include "models/classifier.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/serialize.hpp"
+
+namespace zkg::models {
+
+Classifier::Classifier(std::string name, InputSpec spec, nn::Sequential net)
+    : name_(std::move(name)), spec_(spec), net_(std::move(net)) {
+  ZKG_CHECK(spec_.channels > 0 && spec_.height > 0 && spec_.width > 0 &&
+            spec_.num_classes > 1)
+      << " bad InputSpec for classifier " << name_;
+}
+
+Tensor Classifier::forward(const Tensor& images, bool training) {
+  ZKG_CHECK(images.ndim() == 4 && images.dim(1) == spec_.channels &&
+            images.dim(2) == spec_.height && images.dim(3) == spec_.width)
+      << " classifier " << name_ << " expects [B, " << spec_.channels << ", "
+      << spec_.height << ", " << spec_.width << "], got "
+      << shape_to_string(images.shape());
+  Tensor logits = net_.forward(images, training);
+  ZKG_CHECK(logits.ndim() == 2 && logits.dim(1) == spec_.num_classes)
+      << " classifier " << name_ << " produced "
+      << shape_to_string(logits.shape()) << ", expected [B, "
+      << spec_.num_classes << "]";
+  return logits;
+}
+
+Tensor Classifier::backward(const Tensor& grad_logits) {
+  return net_.backward(grad_logits);
+}
+
+std::vector<std::int64_t> Classifier::predict(const Tensor& images) {
+  return argmax_rows(forward(images, /*training=*/false));
+}
+
+void Classifier::save(const std::string& path) {
+  save_tensors(path, net_.state());
+}
+
+void Classifier::load(const std::string& path) {
+  net_.load_state(load_tensors(path));
+}
+
+}  // namespace zkg::models

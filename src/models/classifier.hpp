@@ -1,0 +1,63 @@
+// Classifier: a Sequential network plus the metadata every other subsystem
+// needs — input geometry, class count, and a human-readable name. Attacks
+// use the input spec to validate shapes; trainers use it to size batches;
+// checkpoints round-trip through save()/load().
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace zkg::models {
+
+/// Geometry of the classifier's input images and label space.
+struct InputSpec {
+  std::int64_t channels = 1;
+  std::int64_t height = 28;
+  std::int64_t width = 28;
+  std::int64_t num_classes = 10;
+
+  Shape batch_shape(std::int64_t batch) const {
+    return {batch, channels, height, width};
+  }
+  std::int64_t pixels() const { return channels * height * width; }
+};
+
+/// Model size presets: kBench shrinks channel widths so experiments finish
+/// on a small CPU; kPaper keeps the published architecture shapes.
+enum class Preset { kBench, kPaper };
+
+class Classifier {
+ public:
+  Classifier(std::string name, InputSpec spec, nn::Sequential net);
+
+  Classifier(Classifier&&) = default;
+  Classifier& operator=(Classifier&&) = default;
+
+  /// Pre-softmax logits [B, num_classes] for images [B, C, H, W].
+  Tensor forward(const Tensor& images, bool training);
+
+  /// Back-propagates a logit gradient; returns the image gradient.
+  Tensor backward(const Tensor& grad_logits);
+
+  /// Predicted class per image (argmax of logits, inference mode).
+  std::vector<std::int64_t> predict(const Tensor& images);
+
+  std::vector<nn::Parameter*> parameters() { return net_.parameters(); }
+  void zero_grad() { net_.zero_grad(); }
+
+  const std::string& name() const { return name_; }
+  const InputSpec& spec() const { return spec_; }
+  nn::Sequential& net() { return net_; }
+
+  /// Binary checkpoint of all parameter values.
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  std::string name_;
+  InputSpec spec_;
+  nn::Sequential net_;
+};
+
+}  // namespace zkg::models

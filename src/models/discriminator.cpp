@@ -1,0 +1,38 @@
+#include "models/discriminator.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+
+namespace zkg::models {
+
+Discriminator::Discriminator(std::int64_t num_classes, Rng& rng)
+    : num_classes_(num_classes) {
+  ZKG_CHECK(num_classes > 1) << " Discriminator over " << num_classes
+                             << " logits";
+  // Table II: Dense 32 / Dense 64 / Dense 32 (ReLU) / Dense 1.
+  net_.emplace<nn::Dense>(num_classes, 32, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(32, 64, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(64, 32, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(32, 1, rng);
+}
+
+Tensor Discriminator::forward(const Tensor& class_logits, bool training) {
+  ZKG_CHECK(class_logits.ndim() == 2 && class_logits.dim(1) == num_classes_)
+      << " Discriminator expects [B, " << num_classes_ << "], got "
+      << shape_to_string(class_logits.shape());
+  return net_.forward(class_logits, training);
+}
+
+Tensor Discriminator::backward(const Tensor& grad_output) {
+  return net_.backward(grad_output);
+}
+
+Tensor Discriminator::probability(const Tensor& class_logits) {
+  return nn::sigmoid(forward(class_logits, /*training=*/false));
+}
+
+}  // namespace zkg::models

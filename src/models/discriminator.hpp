@@ -1,0 +1,41 @@
+// The ZK-GanDef discriminator (paper Table II): a 4-layer MLP that reads the
+// classifier's pre-softmax logits and predicts whether the classified input
+// was clean or perturbed. The structure is dataset-independent.
+//
+// Table II ends with a Sigmoid; we keep the final Dense output as a raw
+// logit and pair it with bce_with_logits, which is the numerically stable
+// formulation of exactly the same model.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace zkg::models {
+
+class Discriminator {
+ public:
+  /// `num_classes` is the width of the classifier's logit vector.
+  Discriminator(std::int64_t num_classes, Rng& rng);
+
+  Discriminator(Discriminator&&) = default;
+  Discriminator& operator=(Discriminator&&) = default;
+
+  /// Raw source logit [B, 1] for classifier logits [B, num_classes].
+  Tensor forward(const Tensor& class_logits, bool training);
+
+  /// Back-propagates to the classifier logits (the GAN coupling path).
+  Tensor backward(const Tensor& grad_output);
+
+  /// P(input was perturbed) in [0, 1], shape [B, 1]. Inference only.
+  Tensor probability(const Tensor& class_logits);
+
+  std::vector<nn::Parameter*> parameters() { return net_.parameters(); }
+  void zero_grad() { net_.zero_grad(); }
+  nn::Sequential& net() { return net_; }
+
+ private:
+  std::int64_t num_classes_;
+  nn::Sequential net_;
+};
+
+}  // namespace zkg::models

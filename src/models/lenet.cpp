@@ -1,0 +1,46 @@
+#include "models/lenet.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+
+namespace zkg::models {
+
+Classifier build_lenet(const InputSpec& spec, Preset preset, Rng& rng) {
+  nn::Sequential net;
+  if (preset == Preset::kPaper) {
+    nn::Conv2dConfig c1{spec.channels, 32, 5, 1, 2};
+    nn::Conv2dConfig c2{32, 64, 5, 1, 2};
+    net.emplace<nn::Conv2d>(c1, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::MaxPool2d>(2);
+    net.emplace<nn::Conv2d>(c2, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::MaxPool2d>(2);
+    net.emplace<nn::Flatten>();
+    const std::int64_t spatial = (spec.height / 4) * (spec.width / 4);
+    net.emplace<nn::Dense>(64 * spatial, 1024, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(1024, spec.num_classes, rng);
+  } else {
+    nn::Conv2dConfig c1{spec.channels, 8, 5, 2, 2};
+    nn::Conv2dConfig c2{8, 16, 5, 2, 2};
+    net.emplace<nn::Conv2d>(c1, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Conv2d>(c2, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Flatten>();
+    // Two stride-2 convolutions with "same" padding: ceil(n/2) twice.
+    const std::int64_t h = (spec.height + 1) / 2;
+    const std::int64_t w = (spec.width + 1) / 2;
+    const std::int64_t spatial = ((h + 1) / 2) * ((w + 1) / 2);
+    net.emplace<nn::Dense>(16 * spatial, 64, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(64, spec.num_classes, rng);
+  }
+  return Classifier("lenet", spec, std::move(net));
+}
+
+}  // namespace zkg::models

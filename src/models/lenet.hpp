@@ -1,0 +1,15 @@
+// LeNet-style convolutional classifier — the paper's Vanilla architecture for
+// MNIST and Fashion-MNIST (after Madry et al. 2017).
+#pragma once
+
+#include "common/rng.hpp"
+#include "models/classifier.hpp"
+
+namespace zkg::models {
+
+/// kPaper: Conv32x5-Pool-Conv64x5-Pool-FC1024-FC10 (Madry's MNIST net).
+/// kBench: Conv8x5/s2-Conv16x5/s2-FC64-FC10 — same depth pattern, ~20x fewer
+/// multiplies, used for CPU-scale experiments.
+Classifier build_lenet(const InputSpec& spec, Preset preset, Rng& rng);
+
+}  // namespace zkg::models

@@ -1,0 +1,24 @@
+#include "models/mlp.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+
+namespace zkg::models {
+
+Classifier build_mlp(const InputSpec& spec,
+                     const std::vector<std::int64_t>& hidden, Rng& rng) {
+  nn::Sequential net;
+  net.emplace<nn::Flatten>();
+  std::int64_t width = spec.pixels();
+  for (const std::int64_t h : hidden) {
+    ZKG_CHECK(h > 0) << " MLP hidden width " << h;
+    net.emplace<nn::Dense>(width, h, rng);
+    net.emplace<nn::ReLU>();
+    width = h;
+  }
+  net.emplace<nn::Dense>(width, spec.num_classes, rng);
+  return Classifier("mlp", spec, std::move(net));
+}
+
+}  // namespace zkg::models

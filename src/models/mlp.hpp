@@ -1,0 +1,17 @@
+// Fully-connected classifier builder — useful as a cheap baseline and for
+// fast tests; not used by the paper's evaluation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/classifier.hpp"
+
+namespace zkg::models {
+
+/// Flatten -> [Dense -> ReLU]* -> Dense(num_classes).
+/// `hidden` lists the hidden-layer widths (may be empty: a linear model).
+Classifier build_mlp(const InputSpec& spec, const std::vector<std::int64_t>& hidden,
+                     Rng& rng);
+
+}  // namespace zkg::models

@@ -1,0 +1,108 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace zkg::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    po[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output, cached_input_, "ReLU::backward");
+  Tensor grad(grad_output.shape());
+  const float* in = cached_input_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    g[i] = in[i] > 0.0f ? go[i] : 0.0f;
+  }
+  return grad;
+}
+
+LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {
+  ZKG_CHECK(negative_slope >= 0.0f) << " LeakyReLU slope " << negative_slope;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    po[i] = in[i] > 0.0f ? in[i] : slope_ * in[i];
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output, cached_input_, "LeakyReLU::backward");
+  Tensor grad(grad_output.shape());
+  const float* in = cached_input_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    g[i] = in[i] > 0.0f ? go[i] : slope_ * go[i];
+  }
+  return grad;
+}
+
+std::string LeakyReLU::name() const {
+  std::ostringstream out;
+  out << "LeakyReLU(" << slope_ << ")";
+  return out.str();
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    po[i] = 1.0f / (1.0f + std::exp(-in[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output, cached_output_, "Sigmoid::backward");
+  Tensor grad(grad_output.shape());
+  const float* y = cached_output_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    g[i] = go[i] * y[i] * (1.0f - y[i]);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) po[i] = std::tanh(in[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  check_same_shape(grad_output, cached_output_, "Tanh::backward");
+  Tensor grad(grad_output.shape());
+  const float* y = cached_output_.data();
+  const float* go = grad_output.data();
+  float* g = grad.data();
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    g[i] = go[i] * (1.0f - y[i] * y[i]);
+  }
+  return grad;
+}
+
+}  // namespace zkg::nn

@@ -1,0 +1,50 @@
+// Pointwise activation layers.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01f);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace zkg::nn

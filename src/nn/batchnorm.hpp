@@ -1,0 +1,42 @@
+// Batch normalization over [B, C, H, W] (per-channel) or [B, F] (per-
+// feature) inputs. Training mode normalises with batch statistics and
+// updates running estimates; inference mode uses the running estimates.
+// Not part of the paper's published architectures; provided for users
+// extending the model zoo (e.g. ResNet-style substrates).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+class BatchNorm : public Module {
+ public:
+  /// `features` is C for rank-4 inputs and F for rank-2 inputs.
+  explicit BatchNorm(std::int64_t features, float momentum = 0.1f,
+                     float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t features_;
+  float momentum_;
+  float epsilon_;
+  Parameter gamma_;  // scale, init 1
+  Parameter beta_;   // shift, init 0
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Caches for backward (training mode only).
+  Tensor cached_normalized_;  // x_hat
+  Tensor cached_inv_std_;     // [features]
+  Shape cached_input_shape_;
+  bool cached_training_ = false;
+};
+
+}  // namespace zkg::nn

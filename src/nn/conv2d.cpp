@@ -1,0 +1,194 @@
+#include "nn/conv2d.hpp"
+
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "tensor/linalg.hpp"
+
+namespace zkg::nn {
+namespace {
+
+std::int64_t conv_out_size(std::int64_t in, const Conv2dConfig& cfg) {
+  const std::int64_t padded = in + 2 * cfg.padding;
+  ZKG_CHECK(padded >= cfg.kernel)
+      << " conv input " << in << " smaller than kernel " << cfg.kernel;
+  return (padded - cfg.kernel) / cfg.stride + 1;
+}
+
+void check_config(const Conv2dConfig& cfg) {
+  ZKG_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
+            cfg.stride > 0 && cfg.padding >= 0)
+      << " bad Conv2dConfig(c_in=" << cfg.in_channels
+      << ", c_out=" << cfg.out_channels << ", k=" << cfg.kernel
+      << ", s=" << cfg.stride << ", p=" << cfg.padding << ")";
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
+  check_config(cfg);
+  ZKG_CHECK(input.ndim() == 4 && input.dim(1) == cfg.in_channels)
+      << " im2col expects [B, " << cfg.in_channels << ", H, W], got "
+      << shape_to_string(input.shape());
+  const std::int64_t b = input.dim(0);
+  const std::int64_t c = cfg.in_channels;
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  const std::int64_t oh = conv_out_size(h, cfg);
+  const std::int64_t ow = conv_out_size(w, cfg);
+  const std::int64_t k = cfg.kernel;
+  const std::int64_t patch = c * k * k;
+
+  Tensor cols({b * oh * ow, patch});
+  const float* in = input.data();
+  float* out = cols.data();
+#pragma omp parallel for schedule(static) if (b > 1)
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* row = out + ((bi * oh + oy) * ow + ox) * patch;
+        const std::int64_t y0 = oy * cfg.stride - cfg.padding;
+        const std::int64_t x0 = ox * cfg.stride - cfg.padding;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          const float* plane = in + (bi * c + ci) * h * w;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t y = y0 + ky;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t x = x0 + kx;
+              const bool inside = y >= 0 && y < h && x >= 0 && x < w;
+              row[(ci * k + ky) * k + kx] = inside ? plane[y * w + x] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape,
+              const Conv2dConfig& cfg) {
+  check_config(cfg);
+  ZKG_CHECK(input_shape.size() == 4) << " col2im wants a rank-4 input shape";
+  const std::int64_t b = input_shape[0];
+  const std::int64_t c = input_shape[1];
+  const std::int64_t h = input_shape[2];
+  const std::int64_t w = input_shape[3];
+  const std::int64_t oh = conv_out_size(h, cfg);
+  const std::int64_t ow = conv_out_size(w, cfg);
+  const std::int64_t k = cfg.kernel;
+  const std::int64_t patch = c * k * k;
+  ZKG_CHECK(cols.ndim() == 2 && cols.dim(0) == b * oh * ow &&
+            cols.dim(1) == patch)
+      << " col2im cols shape " << shape_to_string(cols.shape());
+
+  Tensor image(input_shape);
+  const float* in = cols.data();
+  float* out = image.data();
+  // Patches overlap, so the scatter accumulates; parallel over batch keeps
+  // writes disjoint.
+#pragma omp parallel for schedule(static) if (b > 1)
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* row = in + ((bi * oh + oy) * ow + ox) * patch;
+        const std::int64_t y0 = oy * cfg.stride - cfg.padding;
+        const std::int64_t x0 = ox * cfg.stride - cfg.padding;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          float* plane = out + (bi * c + ci) * h * w;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t y = y0 + ky;
+            if (y < 0 || y >= h) continue;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t x = x0 + kx;
+              if (x < 0 || x >= w) continue;
+              plane[y * w + x] += row[(ci * k + ky) * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Conv2d::Conv2d(Conv2dConfig cfg, Rng& rng)
+    : cfg_(cfg),
+      weight_("conv.weight",
+              he_normal({cfg.out_channels,
+                         cfg.in_channels * cfg.kernel * cfg.kernel},
+                        cfg.in_channels * cfg.kernel * cfg.kernel, rng)),
+      bias_("conv.bias", Tensor({cfg.out_channels})) {
+  check_config(cfg_);
+}
+
+std::int64_t Conv2d::out_size(std::int64_t in) const {
+  return conv_out_size(in, cfg_);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  const std::int64_t b = input.dim(0);
+  const std::int64_t oh = conv_out_size(input.dim(2), cfg_);
+  const std::int64_t ow = conv_out_size(input.dim(3), cfg_);
+  cached_input_shape_ = input.shape();
+  cached_cols_ = im2col(input, cfg_);
+
+  // [B*OH*OW, patch] x [OC, patch]^T -> [B*OH*OW, OC]
+  Tensor flat = matmul_nt(cached_cols_, weight_.value());
+  add_row_bias_(flat, bias_.value());
+
+  // Reorder [B*OH*OW, OC] -> [B, OC, OH, OW].
+  Tensor out({b, cfg_.out_channels, oh, ow});
+  const std::int64_t spatial = oh * ow;
+  const float* src = flat.data();
+  float* dst = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t s = 0; s < spatial; ++s) {
+      const float* row = src + (bi * spatial + s) * cfg_.out_channels;
+      for (std::int64_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        dst[(bi * cfg_.out_channels + oc) * spatial + s] = row[oc];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  ZKG_CHECK(!cached_cols_.empty()) << " Conv2d backward before forward";
+  const std::int64_t b = cached_input_shape_[0];
+  const std::int64_t oh = conv_out_size(cached_input_shape_[2], cfg_);
+  const std::int64_t ow = conv_out_size(cached_input_shape_[3], cfg_);
+  ZKG_CHECK(grad_output.shape() ==
+            Shape({b, cfg_.out_channels, oh, ow}))
+      << " Conv2d backward shape " << shape_to_string(grad_output.shape());
+
+  // Reorder [B, OC, OH, OW] -> [B*OH*OW, OC].
+  const std::int64_t spatial = oh * ow;
+  Tensor grad_flat({b * spatial, cfg_.out_channels});
+  const float* src = grad_output.data();
+  float* dst = grad_flat.data();
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t oc = 0; oc < cfg_.out_channels; ++oc) {
+      const float* plane = src + (bi * cfg_.out_channels + oc) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        dst[(bi * spatial + s) * cfg_.out_channels + oc] = plane[s];
+      }
+    }
+  }
+
+  weight_.accumulate_grad(matmul_tn(grad_flat, cached_cols_));
+  bias_.accumulate_grad(col_sum(grad_flat));
+
+  Tensor grad_cols = matmul(grad_flat, weight_.value());
+  return col2im(grad_cols, cached_input_shape_, cfg_);
+}
+
+std::string Conv2d::name() const {
+  std::ostringstream out;
+  out << "Conv2d(" << cfg_.in_channels << " -> " << cfg_.out_channels
+      << ", k=" << cfg_.kernel << ", s=" << cfg_.stride
+      << ", p=" << cfg_.padding << ")";
+  return out.str();
+}
+
+}  // namespace zkg::nn

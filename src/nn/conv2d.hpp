@@ -1,0 +1,47 @@
+// 2-D convolution over [B, C, H, W] tensors, implemented via im2col + GEMM.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+struct Conv2dConfig {
+  std::int64_t in_channels = 1;
+  std::int64_t out_channels = 1;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+};
+
+/// Lowers `input` [B,C,H,W] into patch-matrix [B*OH*OW, C*K*K].
+Tensor im2col(const Tensor& input, const Conv2dConfig& cfg);
+
+/// Adjoint of im2col: scatters `cols` back into an image-shaped gradient.
+Tensor col2im(const Tensor& cols, const Shape& input_shape,
+              const Conv2dConfig& cfg);
+
+class Conv2d : public Module {
+ public:
+  Conv2d(Conv2dConfig cfg, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+
+  const Conv2dConfig& config() const { return cfg_; }
+  /// Output spatial size for an input of height/width `in`.
+  std::int64_t out_size(std::int64_t in) const;
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Conv2dConfig cfg_;
+  Parameter weight_;  // [OC, C*K*K]
+  Parameter bias_;    // [OC]
+  Tensor cached_cols_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace zkg::nn

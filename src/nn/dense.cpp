@@ -1,0 +1,47 @@
+#include "nn/dense.hpp"
+
+#include <sstream>
+
+#include "nn/init.hpp"
+#include "tensor/linalg.hpp"
+
+namespace zkg::nn {
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("dense.weight",
+              he_normal({out_features, in_features}, in_features, rng)),
+      bias_("dense.bias", Tensor({out_features})) {
+  ZKG_CHECK(in_features > 0 && out_features > 0)
+      << " Dense(" << in_features << ", " << out_features << ")";
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  ZKG_CHECK(input.ndim() == 2 && input.dim(1) == in_features_)
+      << " Dense expects [B, " << in_features_ << "], got "
+      << shape_to_string(input.shape());
+  cached_input_ = input;
+  Tensor out = matmul_nt(input, weight_.value());  // [B, out]
+  add_row_bias_(out, bias_.value());
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  ZKG_CHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_)
+      << " Dense backward expects [B, " << out_features_ << "], got "
+      << shape_to_string(grad_output.shape());
+  ZKG_CHECK(!cached_input_.empty()) << " Dense backward before forward";
+  // dW = g^T x, db = sum_rows(g), dx = g W.
+  weight_.accumulate_grad(matmul_tn(grad_output, cached_input_));
+  bias_.accumulate_grad(col_sum(grad_output));
+  return matmul(grad_output, weight_.value());
+}
+
+std::string Dense::name() const {
+  std::ostringstream out;
+  out << "Dense(" << in_features_ << " -> " << out_features_ << ")";
+  return out.str();
+}
+
+}  // namespace zkg::nn

@@ -1,0 +1,31 @@
+// Fully connected layer: y = x W^T + b, x:[B, in], W:[out, in], b:[out].
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+class Dense : public Module {
+ public:
+  Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace zkg::nn

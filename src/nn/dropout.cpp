@@ -1,0 +1,34 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::nn {
+
+Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
+  ZKG_CHECK(rate >= 0.0f && rate < 1.0f) << " Dropout rate " << rate;
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || rate_ == 0.0f) {
+    cached_mask_ = Tensor();
+    return input;
+  }
+  cached_mask_ = dropout_mask(input.shape(), rng_, 1.0f - rate_);
+  return mul(input, cached_mask_);
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (cached_mask_.empty()) return grad_output;  // inference pass-through
+  return mul(grad_output, cached_mask_);
+}
+
+std::string Dropout::name() const {
+  std::ostringstream out;
+  out << "Dropout(" << rate_ << ")";
+  return out.str();
+}
+
+}  // namespace zkg::nn

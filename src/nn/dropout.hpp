@@ -1,0 +1,29 @@
+// Inverted dropout. Placed as the first layer of a network it implements the
+// "input dropout" the allCNN classifier uses (which the paper credits with
+// inhibiting FGSM-Adv overfitting on CIFAR10).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+class Dropout : public Module {
+ public:
+  /// `rate` is the drop probability (0 disables). Owns a forked Rng so the
+  /// mask stream is reproducible and independent of other consumers.
+  Dropout(float rate, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor cached_mask_;  // empty when the last forward was inference
+};
+
+}  // namespace zkg::nn

@@ -1,0 +1,18 @@
+#include "nn/flatten.hpp"
+
+namespace zkg::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  ZKG_CHECK(input.ndim() >= 2) << " Flatten expects rank >= 2, got "
+                               << shape_to_string(input.shape());
+  cached_input_shape_ = input.shape();
+  const std::int64_t b = input.dim(0);
+  return input.reshape({b, input.numel() / b});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  ZKG_CHECK(!cached_input_shape_.empty()) << " Flatten backward before forward";
+  return grad_output.reshape(cached_input_shape_);
+}
+
+}  // namespace zkg::nn

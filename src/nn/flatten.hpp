@@ -1,0 +1,18 @@
+// Flatten: [B, ...] -> [B, prod(...)]; the bridge from conv to dense stacks.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace zkg::nn

@@ -1,0 +1,18 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::nn {
+
+/// He (Kaiming) normal — recommended for ReLU layers.
+Tensor he_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+
+/// Glorot (Xavier) uniform — recommended for sigmoid/tanh layers.
+Tensor glorot_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng);
+
+}  // namespace zkg::nn

@@ -1,0 +1,49 @@
+// Loss functions. Each returns the scalar loss and the gradient with respect
+// to the logits so trainers can seed backpropagation directly.
+//
+// Includes the CLP / CLS logit penalties of Kannan et al. ("Adversarial
+// Logit Pairing", 2018), which the paper evaluates as the zero-knowledge
+// baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace zkg::nn {
+
+struct LossResult {
+  float value = 0.0f;  // mean loss over the batch
+  Tensor grad;         // d(loss)/d(logits), same shape as the logits
+};
+
+/// Mean softmax cross-entropy over integer class labels.
+/// logits: [B, C]; labels: B entries in [0, C).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+/// Mean binary cross-entropy on raw logits (numerically stable formulation:
+/// max(z,0) - z*t + log(1 + exp(-|z|))). logits/targets: [B] or [B, 1].
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets);
+
+/// Element-wise sigmoid (probability view of a discriminator's raw logits).
+Tensor sigmoid(const Tensor& logits);
+
+struct PairPenaltyResult {
+  float value = 0.0f;
+  Tensor grad_a;  // d/d(logits_a)
+  Tensor grad_b;  // d/d(logits_b)
+};
+
+/// CLP penalty: lambda * mean_i ||z_a(i) - z_b(i)||_2^2 over logit pairs
+/// (the squared-norm reading of the paper's l2(.) term, as in Kannan et
+/// al.'s reference implementation; the unsquared norm's constant pull to
+/// zero logits collapses training at small scale).
+PairPenaltyResult clean_logit_pairing(const Tensor& logits_a,
+                                      const Tensor& logits_b, float lambda);
+
+/// CLS penalty: lambda * mean_i ||z(i)||_2^2.
+LossResult clean_logit_squeezing(const Tensor& logits, float lambda);
+
+}  // namespace zkg::nn

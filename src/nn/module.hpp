@@ -1,0 +1,48 @@
+// Module: the layer interface.
+//
+// The library uses layer-wise backpropagation rather than a taped autograd:
+// forward() caches whatever the layer needs, backward() consumes the cache,
+// accumulates parameter gradients and returns the gradient w.r.t. the input.
+// Returning the input gradient is load-bearing — white-box attacks (FGSM,
+// BIM, PGD, DeepFool, CW) are driven by it.
+//
+// Contract: backward(g) must follow the forward(x) whose activations it
+// differentiates. Sequential enforces this ordering for whole networks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output. `training` toggles train-time behaviour
+  /// (dropout masks); inference passes must use training == false.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Back-propagates `grad_output` (gradient of the loss w.r.t. this
+  /// layer's output), accumulating parameter gradients as a side effect.
+  /// Returns the gradient w.r.t. this layer's input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters owned by this layer (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Short layer description for logging / model summaries.
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace zkg::nn

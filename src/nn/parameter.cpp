@@ -1,0 +1,18 @@
+#include "nn/parameter.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace zkg::nn {
+
+Parameter::Parameter(std::string name, Tensor value)
+    : name_(std::move(name)),
+      value_(std::move(value)),
+      grad_(value_.shape()) {}
+
+void Parameter::zero_grad() { grad_.fill(0.0f); }
+
+void Parameter::accumulate_grad(const Tensor& delta) {
+  axpy_(grad_, 1.0f, delta);
+}
+
+}  // namespace zkg::nn

@@ -1,0 +1,35 @@
+// Trainable parameter: a value tensor plus its accumulated gradient.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace zkg::nn {
+
+class Parameter {
+ public:
+  Parameter() = default;
+  Parameter(std::string name, Tensor value);
+
+  const std::string& name() const { return name_; }
+  Tensor& value() { return value_; }
+  const Tensor& value() const { return value_; }
+  Tensor& grad() { return grad_; }
+  const Tensor& grad() const { return grad_; }
+
+  std::int64_t numel() const { return value_.numel(); }
+
+  /// Resets the gradient accumulator to zero.
+  void zero_grad();
+
+  /// Adds `delta` into the gradient accumulator (shape-checked).
+  void accumulate_grad(const Tensor& delta);
+
+ private:
+  std::string name_;
+  Tensor value_;
+  Tensor grad_;
+};
+
+}  // namespace zkg::nn

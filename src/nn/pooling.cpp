@@ -1,0 +1,117 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace zkg::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  ZKG_CHECK(window_ > 0 && stride_ > 0)
+      << " MaxPool2d(window=" << window_ << ", stride=" << stride_ << ")";
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  ZKG_CHECK(input.ndim() == 4) << " MaxPool2d expects [B,C,H,W], got "
+                               << shape_to_string(input.shape());
+  const std::int64_t b = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  ZKG_CHECK(h >= window_ && w >= window_)
+      << " pool window " << window_ << " larger than input " << h << "x" << w;
+  const std::int64_t oh = (h - window_) / stride_ + 1;
+  const std::int64_t ow = (w - window_) / stride_ + 1;
+
+  cached_input_shape_ = input.shape();
+  Tensor out({b, c, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  const float* in = input.data();
+  float* po = out.data();
+  std::int64_t cell = 0;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = in + (bi * c + ci) * h * w;
+      const std::int64_t plane_base = (bi * c + ci) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++cell) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_index = 0;
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              const std::int64_t y = oy * stride_ + ky;
+              const std::int64_t x = ox * stride_ + kx;
+              const float v = plane[y * w + x];
+              if (v > best) {
+                best = v;
+                best_index = plane_base + y * w + x;
+              }
+            }
+          }
+          po[cell] = best;
+          cached_argmax_[static_cast<std::size_t>(cell)] = best_index;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  ZKG_CHECK(!cached_argmax_.empty()) << " MaxPool2d backward before forward";
+  ZKG_CHECK(grad_output.numel() ==
+            static_cast<std::int64_t>(cached_argmax_.size()))
+      << " MaxPool2d backward shape " << shape_to_string(grad_output.shape());
+  Tensor grad_input(cached_input_shape_);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  for (std::size_t i = 0; i < cached_argmax_.size(); ++i) {
+    gi[cached_argmax_[i]] += go[static_cast<std::int64_t>(i)];
+  }
+  return grad_input;
+}
+
+std::string MaxPool2d::name() const {
+  std::ostringstream out;
+  out << "MaxPool2d(" << window_ << ", stride=" << stride_ << ")";
+  return out.str();
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  ZKG_CHECK(input.ndim() == 4) << " GlobalAvgPool expects [B,C,H,W], got "
+                               << shape_to_string(input.shape());
+  const std::int64_t b = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t spatial = input.dim(2) * input.dim(3);
+  ZKG_CHECK(spatial > 0) << " GlobalAvgPool over empty plane";
+  cached_input_shape_ = input.shape();
+  Tensor out({b, c});
+  const float* in = input.data();
+  for (std::int64_t bc = 0; bc < b * c; ++bc) {
+    double total = 0.0;
+    for (std::int64_t s = 0; s < spatial; ++s) total += in[bc * spatial + s];
+    out[bc] = static_cast<float>(total / static_cast<double>(spatial));
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  ZKG_CHECK(cached_input_shape_.size() == 4)
+      << " GlobalAvgPool backward before forward";
+  const std::int64_t b = cached_input_shape_[0];
+  const std::int64_t c = cached_input_shape_[1];
+  const std::int64_t spatial = cached_input_shape_[2] * cached_input_shape_[3];
+  ZKG_CHECK(grad_output.shape() == Shape({b, c}))
+      << " GlobalAvgPool backward shape "
+      << shape_to_string(grad_output.shape());
+  Tensor grad_input(cached_input_shape_);
+  float* gi = grad_input.data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::int64_t bc = 0; bc < b * c; ++bc) {
+    const float g = grad_output[bc] * inv;
+    for (std::int64_t s = 0; s < spatial; ++s) gi[bc * spatial + s] = g;
+  }
+  return grad_input;
+}
+
+}  // namespace zkg::nn

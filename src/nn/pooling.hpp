@@ -1,0 +1,38 @@
+// Pooling layers over [B, C, H, W] tensors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+/// Max pooling with square window and equal stride (the LeNet configuration).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t window, std::int64_t stride = 0);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  std::int64_t window_;
+  std::int64_t stride_;
+  Shape cached_input_shape_;
+  std::vector<std::int64_t> cached_argmax_;  // flat input index per output cell
+};
+
+/// Global average pooling: [B, C, H, W] -> [B, C]. Used by allCNN.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace zkg::nn

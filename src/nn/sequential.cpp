@@ -1,0 +1,80 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+namespace zkg::nn {
+
+Sequential& Sequential::add(ModulePtr layer) {
+  ZKG_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  ZKG_CHECK(!layers_.empty()) << " forward through empty Sequential";
+  Tensor value = input;
+  for (const ModulePtr& layer : layers_) {
+    value = layer->forward(value, training);
+  }
+  return value;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  ZKG_CHECK(!layers_.empty()) << " backward through empty Sequential";
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (const ModulePtr& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::string Sequential::name() const {
+  std::ostringstream out;
+  out << "Sequential(" << layers_.size() << " layers)";
+  return out.str();
+}
+
+std::int64_t Sequential::num_parameters() {
+  std::int64_t count = 0;
+  for (Parameter* p : parameters()) count += p->numel();
+  return count;
+}
+
+std::string Sequential::summary() {
+  std::ostringstream out;
+  out << name() << "\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    out << "  [" << i << "] " << layers_[i]->name() << "\n";
+  }
+  out << "  parameters: " << num_parameters() << "\n";
+  return out.str();
+}
+
+std::vector<Tensor> Sequential::state() {
+  std::vector<Tensor> values;
+  for (Parameter* p : parameters()) values.push_back(p->value());
+  return values;
+}
+
+void Sequential::load_state(const std::vector<Tensor>& state) {
+  std::vector<Parameter*> params = parameters();
+  ZKG_CHECK(state.size() == params.size())
+      << " load_state: " << state.size() << " tensors for " << params.size()
+      << " parameters";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ZKG_CHECK(state[i].shape() == params[i]->value().shape())
+        << " load_state: shape mismatch at parameter " << i << " ("
+        << params[i]->name() << ")";
+    params[i]->value() = state[i];
+  }
+}
+
+}  // namespace zkg::nn

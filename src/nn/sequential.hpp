@@ -1,0 +1,47 @@
+// Sequential: an ordered stack of modules; the library's network container.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/module.hpp"
+
+namespace zkg::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for fluent building.
+  Sequential& add(ModulePtr layer);
+
+  /// Constructs the layer in place: net.emplace<Dense>(784, 10, rng).
+  template <typename LayerT, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<LayerT>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Total trainable scalar count.
+  std::int64_t num_parameters();
+
+  /// Multi-line structural summary for logs.
+  std::string summary();
+
+  /// Copies of all parameter values, in layer order (for checkpoints).
+  std::vector<Tensor> state() ;
+  /// Restores parameter values captured by state(); shapes must match.
+  void load_state(const std::vector<Tensor>& state);
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace zkg::nn

@@ -1,0 +1,51 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace zkg::optim {
+
+Adam::Adam(std::vector<nn::Parameter*> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  ZKG_CHECK(config_.learning_rate > 0.0f) << " Adam lr " << config_.learning_rate;
+  ZKG_CHECK(config_.beta1 >= 0.0f && config_.beta1 < 1.0f) << " beta1";
+  ZKG_CHECK(config_.beta2 >= 0.0f && config_.beta2 < 1.0f) << " beta2";
+  ZKG_CHECK(config_.epsilon > 0.0f) << " epsilon";
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.emplace_back(p->value().shape());
+    v_.emplace_back(p->value().shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& g = p.grad();
+    if (config_.weight_decay > 0.0f) {
+      axpy_(g, config_.weight_decay, p.value());
+    }
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pw = p.value().data();
+    const float* pg = g.data();
+    const std::int64_t n = g.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * pg[j];
+      pv[j] = config_.beta2 * pv[j] + (1.0f - config_.beta2) * pg[j] * pg[j];
+      const float m_hat = pm[j] / bias1;
+      const float v_hat = pv[j] / bias2;
+      pw[j] -= config_.learning_rate * m_hat /
+               (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace zkg::optim

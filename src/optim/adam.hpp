@@ -1,0 +1,35 @@
+// Adam (Kingma & Ba, ICLR 2015) — the optimizer the paper uses for both the
+// classifier and the Table II discriminator (lr = 1e-3).
+#pragma once
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::optim {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter*> params, AdamConfig config = {});
+
+  void step() override;
+  float learning_rate() const override { return config_.learning_rate; }
+  void set_learning_rate(float lr) override { config_.learning_rate = lr; }
+
+  std::int64_t step_count() const { return step_count_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace zkg::optim

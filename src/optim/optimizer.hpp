@@ -1,0 +1,45 @@
+// Optimizer interface. An optimizer is bound to a parameter set at
+// construction and updates it from the accumulated gradients on step().
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace zkg::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters, then leaves the gradients untouched (call zero_grad()
+  /// on the model between steps).
+  virtual void step() = 0;
+
+  /// Current learning rate (schedulers mutate it via set_learning_rate).
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+
+  /// Convenience: zeroes every bound parameter's gradient.
+  void zero_grad() {
+    for (nn::Parameter* p : params_) p->zero_grad();
+  }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+};
+
+/// Scales gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float clip_grad_norm(const std::vector<nn::Parameter*>& params,
+                     float max_norm);
+
+}  // namespace zkg::optim

@@ -1,0 +1,35 @@
+#include "optim/schedule.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace zkg::optim {
+
+StepDecayLr::StepDecayLr(std::int64_t step_epochs, float gamma)
+    : step_epochs_(step_epochs), gamma_(gamma) {
+  ZKG_CHECK(step_epochs > 0) << " StepDecayLr step " << step_epochs;
+  ZKG_CHECK(gamma > 0.0f && gamma <= 1.0f) << " StepDecayLr gamma " << gamma;
+}
+
+float StepDecayLr::rate_for(std::int64_t epoch, float base_rate) const {
+  const auto num_decays = static_cast<float>(epoch / step_epochs_);
+  return base_rate * std::pow(gamma_, num_decays);
+}
+
+CosineLr::CosineLr(std::int64_t total_epochs, float min_fraction)
+    : total_epochs_(total_epochs), min_fraction_(min_fraction) {
+  ZKG_CHECK(total_epochs > 0) << " CosineLr epochs " << total_epochs;
+  ZKG_CHECK(min_fraction >= 0.0f && min_fraction <= 1.0f)
+      << " CosineLr min_fraction " << min_fraction;
+}
+
+float CosineLr::rate_for(std::int64_t epoch, float base_rate) const {
+  const float t = std::min<float>(1.0f, static_cast<float>(epoch) /
+                                            static_cast<float>(total_epochs_));
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265358979323846f * t));
+  const float floor_rate = min_fraction_ * base_rate;
+  return floor_rate + (base_rate - floor_rate) * cosine;
+}
+
+}  // namespace zkg::optim

@@ -1,0 +1,52 @@
+// Learning-rate schedules, applied between epochs.
+#pragma once
+
+#include <cstdint>
+
+#include "optim/optimizer.hpp"
+
+namespace zkg::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use for `epoch` (0-based), given the base rate.
+  virtual float rate_for(std::int64_t epoch, float base_rate) const = 0;
+
+  /// Applies rate_for() to the optimizer.
+  void apply(Optimizer& optimizer, std::int64_t epoch, float base_rate) const {
+    optimizer.set_learning_rate(rate_for(epoch, base_rate));
+  }
+};
+
+/// Constant rate (the paper's setting).
+class ConstantLr : public LrSchedule {
+ public:
+  float rate_for(std::int64_t /*epoch*/, float base_rate) const override {
+    return base_rate;
+  }
+};
+
+/// Multiplies by `gamma` every `step_epochs`.
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(std::int64_t step_epochs, float gamma);
+  float rate_for(std::int64_t epoch, float base_rate) const override;
+
+ private:
+  std::int64_t step_epochs_;
+  float gamma_;
+};
+
+/// Cosine annealing to `min_fraction * base_rate` over `total_epochs`.
+class CosineLr : public LrSchedule {
+ public:
+  explicit CosineLr(std::int64_t total_epochs, float min_fraction = 0.0f);
+  float rate_for(std::int64_t epoch, float base_rate) const override;
+
+ private:
+  std::int64_t total_epochs_;
+  float min_fraction_;
+};
+
+}  // namespace zkg::optim

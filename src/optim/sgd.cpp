@@ -1,0 +1,54 @@
+#include "optim/sgd.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace zkg::optim {
+
+float clip_grad_norm(const std::vector<nn::Parameter*>& params,
+                     float max_norm) {
+  ZKG_CHECK(max_norm > 0.0f) << " clip_grad_norm max_norm " << max_norm;
+  double total = 0.0;
+  for (nn::Parameter* p : params) {
+    const float n = l2_norm(p->grad());
+    total += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (nn::Parameter* p : params) mul_(p->grad(), scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<nn::Parameter*> params, SgdConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  ZKG_CHECK(config_.learning_rate > 0.0f) << " SGD lr " << config_.learning_rate;
+  ZKG_CHECK(config_.momentum >= 0.0f && config_.momentum < 1.0f)
+      << " SGD momentum " << config_.momentum;
+  if (config_.momentum > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (nn::Parameter* p : params_) velocity_.emplace_back(p->value().shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Parameter& p = *params_[i];
+    Tensor& g = p.grad();
+    if (config_.weight_decay > 0.0f) {
+      axpy_(g, config_.weight_decay, p.value());
+    }
+    if (config_.momentum > 0.0f) {
+      Tensor& v = velocity_[i];
+      mul_(v, config_.momentum);
+      axpy_(v, 1.0f, g);
+      axpy_(p.value(), -config_.learning_rate, v);
+    } else {
+      axpy_(p.value(), -config_.learning_rate, g);
+    }
+  }
+}
+
+}  // namespace zkg::optim

@@ -1,0 +1,29 @@
+// Stochastic gradient descent with optional classical momentum and weight
+// decay.
+#pragma once
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::optim {
+
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.0f;      // 0 disables the velocity buffer
+  float weight_decay = 0.0f;  // L2 regularisation strength
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter*> params, SgdConfig config);
+
+  void step() override;
+  float learning_rate() const override { return config_.learning_rate; }
+  void set_learning_rate(float lr) override { config_.learning_rate = lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace zkg::optim

@@ -1,0 +1,159 @@
+#include "tensor/linalg.hpp"
+
+namespace zkg {
+namespace {
+
+void check_rank2(const Tensor& t, const char* who) {
+  ZKG_CHECK(t.ndim() == 2) << " " << who << " wants rank 2, got "
+                           << shape_to_string(t.shape());
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  ZKG_CHECK(b.dim(0) == k) << " matmul inner dims: " << shape_to_string(a.shape())
+                           << " x " << shape_to_string(b.shape());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order keeps B row-contiguous in the inner loop.
+#pragma omp parallel for schedule(static) if (m > 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(0);
+  ZKG_CHECK(b.dim(1) == k) << " matmul_nt inner dims: "
+                           << shape_to_string(a.shape()) << " x "
+                           << shape_to_string(b.shape()) << "^T";
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+#pragma omp parallel for schedule(static) if (m > 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      // Four independent float accumulators let the compiler vectorise;
+      // float precision is ample for the k <= few-thousand dot products
+      // that occur in this library.
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      std::int64_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 += arow[kk] * brow[kk];
+        acc1 += arow[kk + 1] * brow[kk + 1];
+        acc2 += arow[kk + 2] * brow[kk + 2];
+        acc3 += arow[kk + 3] * brow[kk + 3];
+      }
+      float acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const std::int64_t k = a.dim(0);
+  const std::int64_t m = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  ZKG_CHECK(b.dim(0) == k) << " matmul_tn inner dims: "
+                           << shape_to_string(a.shape()) << "^T x "
+                           << shape_to_string(b.shape());
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Accumulate rank-1 updates; k is the batch dimension in backprop so the
+  // outer loop is serial and the inner region is parallelised over m.
+#pragma omp parallel for schedule(static) if (m > 8)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aki = pa[kk * m + i];
+      if (aki == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  check_rank2(a, "transpose2d");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  check_rank2(a, "matvec");
+  ZKG_CHECK(x.ndim() == 1 && x.dim(0) == a.dim(1))
+      << " matvec shapes: " << shape_to_string(a.shape()) << " x "
+      << shape_to_string(x.shape());
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  Tensor y({m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(a[i * n + j]) * x[j];
+    }
+    y[i] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+void add_row_bias_(Tensor& a, const Tensor& bias) {
+  check_rank2(a, "add_row_bias_");
+  ZKG_CHECK(bias.ndim() == 1 && bias.dim(0) == a.dim(1))
+      << " bias shape " << shape_to_string(bias.shape()) << " vs "
+      << shape_to_string(a.shape());
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  float* pa = a.data();
+  const float* pbias = bias.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) pa[i * n + j] += pbias[j];
+  }
+}
+
+Tensor col_sum(const Tensor& a) {
+  check_rank2(a, "col_sum");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  Tensor out({n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out[j] += a[i * n + j];
+  }
+  return out;
+}
+
+}  // namespace zkg

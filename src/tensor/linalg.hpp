@@ -1,0 +1,31 @@
+// Dense linear algebra kernels (2-D). These back the Dense layer and the
+// im2col-based convolution, so they dominate training time; the plain
+// matmul is blocked and OpenMP-parallel when available.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace zkg {
+
+/// C = A[m,k] * B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A[m,k] * B[n,k]^T  (i.e. result [m,n]); avoids materialising B^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A[k,m]^T * B[k,n]  (i.e. result [m,n]); avoids materialising A^T.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Out-of-place 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+
+/// y = A[m,n] * x[n] -> [m].
+Tensor matvec(const Tensor& a, const Tensor& x);
+
+/// Adds `bias`[n] to every row of `a`[m,n] in place.
+void add_row_bias_(Tensor& a, const Tensor& bias);
+
+/// Sums `a`[m,n] over rows -> [n] (gradient of add_row_bias_).
+Tensor col_sum(const Tensor& a);
+
+}  // namespace zkg

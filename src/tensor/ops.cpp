@@ -1,0 +1,289 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkg {
+namespace {
+
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
+  check_same_shape(a, b, name);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+void binary_op_(Tensor& a, const Tensor& b, const char* name, F f) {
+  check_same_shape(a, b, name);
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] = f(pa[i], pb[i]);
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "div", [](float x, float y) { return x / y; });
+}
+void add_(Tensor& a, const Tensor& b) {
+  binary_op_(a, b, "add_", [](float x, float y) { return x + y; });
+}
+void sub_(Tensor& a, const Tensor& b) {
+  binary_op_(a, b, "sub_", [](float x, float y) { return x - y; });
+}
+void mul_(Tensor& a, const Tensor& b) {
+  binary_op_(a, b, "mul_", [](float x, float y) { return x * y; });
+}
+
+Tensor add(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+Tensor mul(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+void add_(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s;
+}
+void mul_(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+}
+
+void axpy_(Tensor& y, float alpha, const Tensor& x) {
+  check_same_shape(y, x, "axpy_");
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; });
+}
+Tensor abs(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::fabs(x); });
+}
+Tensor sign(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    if (x > 0.0f) return 1.0f;
+    if (x < 0.0f) return -1.0f;
+    return 0.0f;
+  });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  ZKG_CHECK(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
+  return unary_op(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+void clamp_(Tensor& a, float lo, float hi) {
+  ZKG_CHECK(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] = std::clamp(pa[i], lo, hi);
+}
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sqrt(x); });
+}
+Tensor square(const Tensor& a) {
+  return unary_op(a, [](float x) { return x * x; });
+}
+
+float sum(const Tensor& a) {
+  double total = 0.0;  // double accumulator avoids float drift on big tensors
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) total += pa[i];
+  return static_cast<float>(total);
+}
+
+float mean(const Tensor& a) {
+  ZKG_CHECK(a.numel() > 0) << " mean of empty tensor";
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  ZKG_CHECK(a.numel() > 0) << " max of empty tensor";
+  return *std::max_element(a.storage().begin(), a.storage().end());
+}
+
+float min_value(const Tensor& a) {
+  ZKG_CHECK(a.numel() > 0) << " min of empty tensor";
+  return *std::min_element(a.storage().begin(), a.storage().end());
+}
+
+float max_abs(const Tensor& a) {
+  float best = 0.0f;
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    best = std::max(best, std::fabs(pa[i]));
+  }
+  return best;
+}
+
+float l2_norm(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    total += static_cast<double>(pa[i]) * pa[i];
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double total = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    total += static_cast<double>(pa[i]) * pb[i];
+  }
+  return static_cast<float>(total);
+}
+
+Tensor row_sum(const Tensor& a) {
+  ZKG_CHECK(a.ndim() == 2) << " row_sum wants rank 2, got "
+                           << shape_to_string(a.shape());
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor out({rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double total = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) total += a[r * cols + c];
+    out[r] = static_cast<float>(total);
+  }
+  return out;
+}
+
+Tensor row_max(const Tensor& a) {
+  ZKG_CHECK(a.ndim() == 2) << " row_max wants rank 2, got "
+                           << shape_to_string(a.shape());
+  ZKG_CHECK(a.dim(1) > 0) << " row_max of zero-width tensor";
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  Tensor out({rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float best = a[r * cols];
+    for (std::int64_t c = 1; c < cols; ++c) best = std::max(best, a[r * cols + c]);
+    out[r] = best;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  ZKG_CHECK(a.ndim() == 2) << " argmax_rows wants rank 2, got "
+                           << shape_to_string(a.shape());
+  ZKG_CHECK(a.dim(1) > 0) << " argmax_rows of zero-width tensor";
+  const std::int64_t rows = a.dim(0);
+  const std::int64_t cols = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (a[r * cols + c] > a[r * cols + best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  ZKG_CHECK(logits.ndim() == 2) << " softmax_rows wants rank 2, got "
+                                << shape_to_string(logits.shape());
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float row_peak = logits[r * cols];
+    for (std::int64_t c = 1; c < cols; ++c) {
+      row_peak = std::max(row_peak, logits[r * cols + c]);
+    }
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float e = std::exp(logits[r * cols + c] - row_peak);
+      out[r * cols + c] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) out[r * cols + c] *= inv;
+  }
+  return out;
+}
+
+Tensor one_hot(const std::vector<std::int64_t>& labels,
+               std::int64_t num_classes) {
+  ZKG_CHECK(num_classes > 0);
+  Tensor out({static_cast<std::int64_t>(labels.size()), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::int64_t label = labels[i];
+    ZKG_CHECK(label >= 0 && label < num_classes)
+        << " label " << label << " out of range [0, " << num_classes << ")";
+    out[static_cast<std::int64_t>(i) * num_classes + label] = 1.0f;
+  }
+  return out;
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  ZKG_CHECK(a.ndim() == b.ndim() && a.ndim() >= 1)
+      << " concat_rows rank mismatch: " << shape_to_string(a.shape())
+      << " vs " << shape_to_string(b.shape());
+  for (std::int64_t i = 1; i < a.ndim(); ++i) {
+    ZKG_CHECK(a.dim(i) == b.dim(i)) << " concat_rows inner-shape mismatch on axis "
+                                    << i;
+  }
+  Shape out_shape = a.shape();
+  out_shape[0] = a.dim(0) + b.dim(0);
+  Tensor out(std::move(out_shape));
+  out.assign_rows(0, a);
+  out.assign_rows(a.dim(0), b);
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& indices) {
+  ZKG_CHECK(a.ndim() >= 1) << " gather_rows on rank-0 tensor";
+  const std::int64_t rows = a.dim(0);
+  std::int64_t stride = 1;
+  for (std::int64_t i = 1; i < a.ndim(); ++i) stride *= a.dim(i);
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<std::int64_t>(indices.size());
+  Tensor out(std::move(out_shape));
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t r = indices[i];
+    ZKG_CHECK(r >= 0 && r < rows) << " gather_rows index " << r
+                                  << " out of range [0, " << rows << ")";
+    std::copy(a.data() + r * stride, a.data() + (r + 1) * stride,
+              out.data() + static_cast<std::int64_t>(i) * stride);
+  }
+  return out;
+}
+
+}  // namespace zkg

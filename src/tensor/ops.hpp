@@ -1,0 +1,71 @@
+// Element-wise and reduction kernels over Tensor.
+//
+// Naming: `add(a, b)` returns a new tensor; `add_(a, b)` mutates its first
+// argument in place. In-place forms are preferred in training inner loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace zkg {
+
+// ---- element-wise binary (same shape) ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+void add_(Tensor& a, const Tensor& b);
+void sub_(Tensor& a, const Tensor& b);
+void mul_(Tensor& a, const Tensor& b);
+
+// ---- scalar forms ----
+Tensor add(const Tensor& a, float s);
+Tensor mul(const Tensor& a, float s);
+void add_(Tensor& a, float s);
+void mul_(Tensor& a, float s);
+
+/// y += alpha * x (BLAS axpy); shapes must match.
+void axpy_(Tensor& y, float alpha, const Tensor& x);
+
+// ---- element-wise unary ----
+Tensor neg(const Tensor& a);
+Tensor abs(const Tensor& a);
+/// sign(0) == 0.
+Tensor sign(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+void clamp_(Tensor& a, float lo, float hi);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor square(const Tensor& a);
+
+// ---- reductions ----
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_value(const Tensor& a);
+float min_value(const Tensor& a);
+float max_abs(const Tensor& a);
+float l2_norm(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+
+/// Per-row reductions over a [rows, cols] tensor.
+Tensor row_sum(const Tensor& a);                 // -> [rows]
+Tensor row_max(const Tensor& a);                 // -> [rows]
+std::vector<std::int64_t> argmax_rows(const Tensor& a);  // -> rows indices
+
+/// Row-wise softmax of a [rows, cols] tensor (numerically stabilised).
+Tensor softmax_rows(const Tensor& logits);
+
+/// One-hot encodes labels into a [labels.size(), num_classes] tensor.
+Tensor one_hot(const std::vector<std::int64_t>& labels,
+               std::int64_t num_classes);
+
+/// Concatenates along axis 0; inner shapes must match.
+Tensor concat_rows(const Tensor& a, const Tensor& b);
+
+/// Rows of `a` selected by `indices` (axis 0), in order.
+Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& indices);
+
+}  // namespace zkg

@@ -1,0 +1,39 @@
+#include "tensor/random.hpp"
+
+namespace zkg {
+
+Tensor randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  fill_normal(t, rng, mean, stddev);
+  return t;
+}
+
+Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  fill_uniform(t, rng, lo, hi);
+  return t;
+}
+
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev) {
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(mean, stddev);
+}
+
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+}
+
+Tensor dropout_mask(Shape shape, Rng& rng, float keep_prob) {
+  ZKG_CHECK(keep_prob > 0.0f && keep_prob <= 1.0f)
+      << " keep_prob " << keep_prob << " outside (0, 1]";
+  Tensor mask(std::move(shape));
+  const float scale = 1.0f / keep_prob;
+  float* p = mask.data();
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    p[i] = rng.bernoulli(keep_prob) ? scale : 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace zkg

@@ -1,0 +1,90 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace zkg {
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'K', 'G', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw SerializationError("truncated tensor stream");
+  return value;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(t.ndim()));
+  for (std::int64_t i = 0; i < t.ndim(); ++i) write_pod(out, t.dim(i));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw SerializationError("failed to write tensor");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw SerializationError("bad tensor magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw SerializationError("unsupported tensor version " +
+                             std::to_string(version));
+  }
+  const auto rank = read_pod<std::uint32_t>(in);
+  if (rank > 8) throw SerializationError("implausible tensor rank");
+  Shape shape(rank);
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(in);
+    if (d < 0) throw SerializationError("negative dimension");
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw SerializationError("truncated tensor data");
+  return t;
+}
+
+void write_tensors(std::ostream& out, const std::vector<Tensor>& tensors) {
+  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
+  for (const Tensor& t : tensors) write_tensor(out, t);
+}
+
+std::vector<Tensor> read_tensors(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count > (1ull << 20)) throw SerializationError("implausible tensor count");
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) tensors.push_back(read_tensor(in));
+  return tensors;
+}
+
+void save_tensors(const std::string& path, const std::vector<Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializationError("cannot open " + path + " for writing");
+  write_tensors(out, tensors);
+}
+
+std::vector<Tensor> load_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializationError("cannot open " + path + " for reading");
+  return read_tensors(in);
+}
+
+}  // namespace zkg

@@ -1,0 +1,26 @@
+// Binary tensor (de)serialization — used for model checkpoints.
+//
+// Format (little-endian):
+//   magic "ZKGT", u32 version, u32 rank, i64 dims[rank], f32 data[numel].
+// A checkpoint is a count-prefixed sequence of tensors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace zkg {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+Tensor read_tensor(std::istream& in);
+
+void write_tensors(std::ostream& out, const std::vector<Tensor>& tensors);
+std::vector<Tensor> read_tensors(std::istream& in);
+
+/// File-based convenience wrappers; throw SerializationError on IO failure.
+void save_tensors(const std::string& path, const std::vector<Tensor>& tensors);
+std::vector<Tensor> load_tensors(const std::string& path);
+
+}  // namespace zkg

@@ -1,0 +1,176 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace zkg {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t count = 1;
+  for (const std::int64_t d : shape) {
+    ZKG_CHECK(d >= 0) << " (negative dimension in " << shape_to_string(shape) << ")";
+    count *= d;
+  }
+  return count;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  ZKG_CHECK(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_))
+      << " buffer has " << data_.size() << " elements, shape "
+      << shape_to_string(shape_) << " wants " << shape_numel(shape_);
+}
+
+Tensor Tensor::vector(std::initializer_list<float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  const std::int64_t n = ndim();
+  if (i < 0) i += n;
+  ZKG_CHECK(i >= 0 && i < n) << " axis " << i << " out of range for "
+                             << shape_to_string(shape_);
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+namespace {
+
+inline std::int64_t flatten2(const Shape& s, std::int64_t i, std::int64_t j) {
+  return i * s[1] + j;
+}
+
+}  // namespace
+
+float& Tensor::at(std::int64_t i) {
+  ZKG_CHECK(ndim() == 1) << " at(i) on " << shape_to_string(shape_);
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  ZKG_CHECK(ndim() == 2) << " at(i,j) on " << shape_to_string(shape_);
+  return data_[static_cast<std::size_t>(flatten2(shape_, i, j))];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  ZKG_CHECK(ndim() == 3) << " at(i,j,k) on " << shape_to_string(shape_);
+  return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                  std::int64_t l) {
+  ZKG_CHECK(ndim() == 4) << " at(i,j,k,l) on " << shape_to_string(shape_);
+  return data_[static_cast<std::size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  ZKG_CHECK(shape_numel(new_shape) == numel())
+      << " cannot reshape " << shape_to_string(shape_) << " ("
+      << numel() << " elements) to " << shape_to_string(new_shape);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+std::int64_t Tensor::row_stride() const {
+  ZKG_CHECK(ndim() >= 1) << " row operation on rank-0 tensor";
+  std::int64_t stride = 1;
+  for (std::size_t i = 1; i < shape_.size(); ++i) stride *= shape_[i];
+  return stride;
+}
+
+Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
+  const std::int64_t rows = dim(0);
+  ZKG_CHECK(begin >= 0 && begin <= end && end <= rows)
+      << " slice [" << begin << ", " << end << ") of " << rows << " rows";
+  const std::int64_t stride = row_stride();
+  Shape out_shape = shape_;
+  out_shape[0] = end - begin;
+  std::vector<float> out_data(
+      data_.begin() + static_cast<std::ptrdiff_t>(begin * stride),
+      data_.begin() + static_cast<std::ptrdiff_t>(end * stride));
+  return Tensor(std::move(out_shape), std::move(out_data));
+}
+
+void Tensor::assign_rows(std::int64_t row, const Tensor& source) {
+  const std::int64_t stride = row_stride();
+  ZKG_CHECK(source.ndim() == ndim())
+      << " assign_rows rank mismatch: " << shape_to_string(shape_) << " vs "
+      << shape_to_string(source.shape_);
+  ZKG_CHECK(source.row_stride() == stride)
+      << " assign_rows inner-shape mismatch";
+  const std::int64_t source_rows = source.dim(0);
+  ZKG_CHECK(row >= 0 && row + source_rows <= dim(0))
+      << " assign_rows [" << row << ", " << row + source_rows << ") of "
+      << dim(0) << " rows";
+  std::copy(source.data_.begin(), source.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(row * stride));
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::to_string(std::int64_t max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elements);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op_name) {
+  ZKG_CHECK(a.shape() == b.shape())
+      << " " << op_name << ": shape mismatch " << shape_to_string(a.shape())
+      << " vs " << shape_to_string(b.shape());
+}
+
+}  // namespace zkg

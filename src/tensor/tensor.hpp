@@ -1,0 +1,100 @@
+// Tensor: the library's value-semantic numeric array.
+//
+// A Tensor is a contiguous row-major float32 buffer plus a shape. There are
+// no strided views or reference-counted aliases: copies are explicit and the
+// type behaves like a regular value (C++ Core Guidelines C.10). All kernels
+// live in free functions (ops.hpp / linalg.hpp / random.hpp).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zkg {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (1 for a scalar-rank shape).
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable rendering, e.g. "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// An empty tensor (rank 0, zero elements). Distinguishable via empty().
+  Tensor() = default;
+
+  /// A tensor of the given shape with every element set to `fill`.
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  /// Adopts an existing buffer; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// 1-D tensor from a brace list; convenient in tests.
+  static Tensor vector(std::initializer_list<float> values);
+
+  bool empty() const { return data_.empty(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  const Shape& shape() const { return shape_; }
+
+  /// Size of axis `i`; negative indices count from the back.
+  std::int64_t dim(std::int64_t i) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::int64_t flat_index) { return data_[static_cast<std::size_t>(flat_index)]; }
+  float operator[](std::int64_t flat_index) const { return data_[static_cast<std::size_t>(flat_index)]; }
+
+  /// Multi-dimensional element access with bounds checking in debug-ish
+  /// spirit: shape arity is always validated.
+  float& at(std::int64_t i);
+  float& at(std::int64_t i, std::int64_t j);
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float at(std::int64_t i) const;
+  float at(std::int64_t i, std::int64_t j) const;
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  /// Same data, new shape (element counts must match).
+  Tensor reshape(Shape new_shape) const;
+
+  /// Rows [begin, end) along axis 0 as a new tensor.
+  Tensor slice_rows(std::int64_t begin, std::int64_t end) const;
+
+  /// Copies `source` into rows starting at `row` (axis 0).
+  void assign_rows(std::int64_t row, const Tensor& source);
+
+  void fill(float value);
+
+  /// Exact element-wise equality (shape included).
+  bool equals(const Tensor& other) const;
+  /// Element-wise |a-b| <= tol with identical shapes.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+  std::string to_string(std::int64_t max_elements = 16) const;
+
+ private:
+  std::int64_t row_stride() const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Throws InvalidArgument unless both tensors share `shape`.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op_name);
+
+}  // namespace zkg

@@ -1,0 +1,150 @@
+// Tests for the common utilities: error macros, logging, tables, env
+// helpers, stopwatch and thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/threadpool.hpp"
+
+namespace zkg {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(ZKG_CHECK(1 + 1 == 2) << " unused");
+}
+
+TEST(Check, FailingConditionThrowsWithContext) {
+  try {
+    ZKG_CHECK(false) << " extra=" << 42;
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check failed"), std::string::npos);
+    EXPECT_NE(what.find("extra=42"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ErrorHierarchy) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw SerializationError("x"), Error);
+}
+
+TEST(Logging, LevelFiltering) {
+  std::ostringstream sink;
+  log::set_sink(&sink);
+  log::set_level(log::Level::kWarn);
+  log::info() << "hidden";
+  log::warn() << "visible";
+  log::set_level(log::Level::kInfo);
+  log::set_sink(nullptr);
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] visible"), std::string::npos);
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"A", "Longer"});
+  t.add_row({"x", "y"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("-"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, MarkdownFormat) {
+  Table t({"H1", "H2"});
+  t.add_row({"a", "b"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| H1 | H2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::percent(0.12345), "12.35%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+  EXPECT_EQ(Table::fixed(3.14159, 3), "3.142");
+}
+
+TEST(Env, FallbacksAndParsing) {
+  EXPECT_EQ(env_or("ZKG_TEST_UNSET_VAR_42", "dflt"), "dflt");
+  EXPECT_EQ(env_or_int("ZKG_TEST_UNSET_VAR_42", 7), 7);
+  ::setenv("ZKG_TEST_SET_VAR", "123", 1);
+  EXPECT_EQ(env_or("ZKG_TEST_SET_VAR", "x"), "123");
+  EXPECT_EQ(env_or_int("ZKG_TEST_SET_VAR", 0), 123);
+  ::setenv("ZKG_TEST_SET_VAR", "not-an-int", 1);
+  EXPECT_EQ(env_or_int("ZKG_TEST_SET_VAR", -5), -5);
+  ::unsetenv("ZKG_TEST_SET_VAR");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = watch.seconds();
+  EXPECT_GE(first, 0.015);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), first);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&hits](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeCases) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(1, [&](std::int64_t begin, std::int64_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+}  // namespace
+}  // namespace zkg

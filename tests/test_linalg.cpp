@@ -1,0 +1,106 @@
+// Tests for the dense linear-algebra kernels, including parameterized
+// consistency sweeps of the fused-transpose GEMM variants against the
+// reference implementation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+#include "tests/test_util.hpp"
+
+namespace zkg {
+namespace {
+
+TEST(Matmul, KnownValues) {
+  const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_TRUE(c.equals(Tensor({2, 2}, std::vector<float>{58, 64, 139, 154})));
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(1);
+  const Tensor a = randn({4, 4}, rng);
+  Tensor eye({4, 4});
+  for (std::int64_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_TRUE(matmul(a, eye).allclose(a, 1e-5f));
+  EXPECT_TRUE(matmul(eye, a).allclose(a, 1e-5f));
+}
+
+TEST(Matmul, ShapeErrors) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), InvalidArgument);
+  EXPECT_THROW(matmul(Tensor({4}), Tensor({4, 4})), InvalidArgument);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(2);
+  const Tensor a = randn({3, 5}, rng);
+  EXPECT_TRUE(transpose2d(transpose2d(a)).equals(a));
+  EXPECT_FLOAT_EQ(transpose2d(a).at(4, 2), a.at(2, 4));
+}
+
+class GemmVariants
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmVariants, NtMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(3 + m + k + n);
+  const Tensor a = randn({m, k}, rng);
+  const Tensor b = randn({n, k}, rng);
+  EXPECT_TRUE(matmul_nt(a, b).allclose(matmul(a, transpose2d(b)), 1e-3f));
+}
+
+TEST_P(GemmVariants, TnMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(5 + m + k + n);
+  const Tensor a = randn({k, m}, rng);
+  const Tensor b = randn({k, n}, rng);
+  EXPECT_TRUE(matmul_tn(a, b).allclose(matmul(transpose2d(a), b), 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmVariants,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{7, 5, 3}, std::tuple{16, 16, 16},
+                      std::tuple{1, 17, 9}, std::tuple{33, 8, 2},
+                      std::tuple{64, 27, 10}));
+
+TEST(Matvec, KnownValues) {
+  const Tensor a({2, 3}, std::vector<float>{1, 0, -1, 2, 2, 2});
+  const Tensor x({3}, std::vector<float>{3, 4, 5});
+  EXPECT_TRUE(matvec(a, x).equals(Tensor({2}, std::vector<float>{-2, 24})));
+  EXPECT_THROW(matvec(a, Tensor({2})), InvalidArgument);
+}
+
+TEST(Bias, AddRowBiasAndColSumAreAdjoint) {
+  Rng rng(4);
+  Tensor a = randn({5, 3}, rng);
+  const Tensor before = a;
+  const Tensor bias({3}, std::vector<float>{1, -2, 3});
+  add_row_bias_(a, bias);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(a.at(r, c), before.at(r, c) + bias.at(c));
+    }
+  }
+  // col_sum is the gradient of add_row_bias_ w.r.t. the bias.
+  const Tensor g = randn({5, 3}, rng);
+  const Tensor summed = col_sum(g);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    float expected = 0.0f;
+    for (std::int64_t r = 0; r < 5; ++r) expected += g.at(r, c);
+    EXPECT_NEAR(summed.at(c), expected, 1e-4f);
+  }
+}
+
+TEST(Bias, ShapeErrors) {
+  Tensor a({2, 3});
+  EXPECT_THROW(add_row_bias_(a, Tensor({2})), InvalidArgument);
+  EXPECT_THROW(col_sum(Tensor({4})), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace zkg

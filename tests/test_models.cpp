@@ -1,0 +1,137 @@
+// Model-builder tests: output geometry, checkpointing, the Table II
+// discriminator contract, and the classifier wrapper's validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "models/allcnn.hpp"
+#include "models/discriminator.hpp"
+#include "models/lenet.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::models {
+namespace {
+
+TEST(LeNet, BenchPresetShapes) {
+  Rng rng(1);
+  Classifier model = build_lenet({1, 28, 28, 10}, Preset::kBench, rng);
+  const Tensor logits = model.forward(Tensor({3, 1, 28, 28}), false);
+  EXPECT_EQ(logits.shape(), Shape({3, 10}));
+}
+
+TEST(LeNet, PaperPresetShapes) {
+  Rng rng(2);
+  Classifier model = build_lenet({1, 28, 28, 10}, Preset::kPaper, rng);
+  const Tensor logits = model.forward(Tensor({1, 1, 28, 28}), false);
+  EXPECT_EQ(logits.shape(), Shape({1, 10}));
+  // Madry's MNIST net: 32c5 + 64c5 + fc1024 + fc10.
+  EXPECT_GT(model.net().num_parameters(), 3'000'000);
+}
+
+TEST(AllCnn, BenchPresetShapes) {
+  Rng rng(3);
+  Classifier model = build_allcnn({3, 32, 32, 10}, Preset::kBench, rng);
+  const Tensor logits = model.forward(Tensor({2, 3, 32, 32}), false);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+}
+
+TEST(AllCnn, InputDropoutOnlyActsInTraining) {
+  Rng rng(4);
+  Classifier model = build_allcnn({3, 32, 32, 10}, Preset::kBench, rng, 0.5f);
+  Rng data_rng(5);
+  const Tensor x = randn({2, 3, 32, 32}, data_rng);
+  // Inference is deterministic.
+  EXPECT_TRUE(model.forward(x, false).equals(model.forward(x, false)));
+  // Training passes differ (dropout masks resample).
+  EXPECT_FALSE(model.forward(x, true).equals(model.forward(x, true)));
+}
+
+TEST(AllCnn, DropoutCanBeAblated) {
+  Rng rng(6);
+  Classifier model = build_allcnn({3, 32, 32, 10}, Preset::kBench, rng, 0.0f);
+  Rng data_rng(7);
+  const Tensor x = randn({1, 3, 32, 32}, data_rng);
+  EXPECT_TRUE(model.forward(x, true).allclose(model.forward(x, true)));
+}
+
+TEST(Classifier, RejectsWrongGeometry) {
+  Rng rng(8);
+  Classifier model = build_lenet({1, 28, 28, 10}, Preset::kBench, rng);
+  EXPECT_THROW(model.forward(Tensor({1, 3, 28, 28}), false), InvalidArgument);
+  EXPECT_THROW(model.forward(Tensor({1, 1, 32, 32}), false), InvalidArgument);
+}
+
+TEST(Classifier, PredictReturnsArgmax) {
+  Rng rng(9);
+  Classifier model = build_lenet({1, 28, 28, 10}, Preset::kBench, rng);
+  Rng data_rng(10);
+  const Tensor x = randn({4, 1, 28, 28}, data_rng);
+  const Tensor logits = model.forward(x, false);
+  EXPECT_EQ(model.predict(x), argmax_rows(logits));
+}
+
+TEST(Classifier, CheckpointRoundTrip) {
+  const std::string path = "/tmp/zkg_test_checkpoint.ckpt";
+  Rng rng_a(11), rng_b(99);
+  Classifier a = build_lenet({1, 28, 28, 10}, Preset::kBench, rng_a);
+  Classifier b = build_lenet({1, 28, 28, 10}, Preset::kBench, rng_b);
+  Rng data_rng(12);
+  const Tensor x = randn({2, 1, 28, 28}, data_rng);
+  ASSERT_FALSE(a.forward(x, false).allclose(b.forward(x, false)));
+  a.save(path);
+  b.load(path);
+  EXPECT_TRUE(a.forward(x, false).allclose(b.forward(x, false)));
+  std::remove(path.c_str());
+}
+
+TEST(Classifier, InputSpecHelpers) {
+  const InputSpec spec{3, 32, 32, 10};
+  EXPECT_EQ(spec.pixels(), 3 * 32 * 32);
+  EXPECT_EQ(spec.batch_shape(4), Shape({4, 3, 32, 32}));
+}
+
+TEST(Discriminator, TableIIShape) {
+  Rng rng(13);
+  Discriminator d(10, rng);
+  // Dense 10->32, 32->64, 64->32, 32->1 (weights + biases).
+  std::int64_t params = 0;
+  for (nn::Parameter* p : d.parameters()) params += p->numel();
+  EXPECT_EQ(params, (10 * 32 + 32) + (32 * 64 + 64) + (64 * 32 + 32) +
+                        (32 * 1 + 1));
+  const Tensor out = d.forward(Tensor({5, 10}), false);
+  EXPECT_EQ(out.shape(), Shape({5, 1}));
+}
+
+TEST(Discriminator, ProbabilityInUnitInterval) {
+  Rng rng(14);
+  Discriminator d(10, rng);
+  Rng data_rng(15);
+  // Large logits saturate sigmoid to exactly 0/1 in float; the contract is
+  // the closed unit interval.
+  const Tensor p = d.probability(randn({20, 10}, data_rng, 0.0f, 10.0f));
+  EXPECT_GE(min_value(p), 0.0f);
+  EXPECT_LE(max_value(p), 1.0f);
+}
+
+TEST(Discriminator, RejectsWrongLogitWidth) {
+  Rng rng(16);
+  Discriminator d(10, rng);
+  EXPECT_THROW(d.forward(Tensor({2, 7}), false), InvalidArgument);
+  EXPECT_THROW(Discriminator(1, rng), InvalidArgument);
+}
+
+TEST(Discriminator, BackwardReachesClassLogits) {
+  Rng rng(17);
+  Discriminator d(10, rng);
+  Rng data_rng(18);
+  const Tensor z = randn({3, 10}, data_rng);
+  d.forward(z, true);
+  const Tensor grad = d.backward(Tensor({3, 1}, 1.0f));
+  EXPECT_EQ(grad.shape(), Shape({3, 10}));
+  EXPECT_GT(max_abs(grad), 0.0f);
+}
+
+}  // namespace
+}  // namespace zkg::models

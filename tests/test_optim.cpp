@@ -1,0 +1,146 @@
+// Optimizer tests: update rules on handcrafted gradients, convergence on a
+// quadratic, gradient clipping and LR schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "optim/adam.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::optim {
+namespace {
+
+nn::Parameter make_param(std::vector<float> values) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  return nn::Parameter("p", Tensor({n}, std::move(values)));
+}
+
+TEST(Sgd, PlainStep) {
+  nn::Parameter p = make_param({1.0f, 2.0f});
+  p.accumulate_grad(Tensor({2}, std::vector<float>{0.5f, -1.0f}));
+  Sgd sgd({&p}, {.learning_rate = 0.1f});
+  sgd.step();
+  EXPECT_TRUE(p.value().allclose(Tensor({2}, std::vector<float>{0.95f, 2.1f})));
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  nn::Parameter p = make_param({0.0f});
+  Sgd sgd({&p}, {.learning_rate = 1.0f, .momentum = 0.5f});
+  // Two identical unit gradients: steps of 1 then 1.5.
+  p.grad()[0] = 1.0f;
+  sgd.step();
+  EXPECT_NEAR(p.value()[0], -1.0f, 1e-6f);
+  sgd.step();  // gradient still 1 (not zeroed)
+  EXPECT_NEAR(p.value()[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  nn::Parameter p = make_param({10.0f});
+  Sgd sgd({&p}, {.learning_rate = 0.1f, .weight_decay = 0.5f});
+  sgd.step();  // gradient 0, decay 0.5 * 10 = 5 -> step -0.5
+  EXPECT_NEAR(p.value()[0], 9.5f, 1e-5f);
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  nn::Parameter p = make_param({1.0f});
+  EXPECT_THROW(Sgd({&p}, {.learning_rate = 0.0f}), InvalidArgument);
+  EXPECT_THROW(Sgd({&p}, {.learning_rate = 0.1f, .momentum = 1.0f}),
+               InvalidArgument);
+}
+
+TEST(Adam, FirstStepHasLearningRateMagnitude) {
+  nn::Parameter p = make_param({0.0f});
+  Adam adam({&p}, {.learning_rate = 0.01f});
+  p.grad()[0] = 123.0f;  // any positive gradient
+  adam.step();
+  // Bias-corrected first step is ~ -lr * sign(g).
+  EXPECT_NEAR(p.value()[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize f(w) = ||w - target||^2.
+  nn::Parameter w = make_param({5.0f, -3.0f, 8.0f});
+  const Tensor target({3}, std::vector<float>{1.0f, 2.0f, -1.0f});
+  Adam adam({&w}, {.learning_rate = 0.1f});
+  for (int i = 0; i < 500; ++i) {
+    w.zero_grad();
+    Tensor grad = sub(w.value(), target);
+    mul_(grad, 2.0f);
+    w.accumulate_grad(grad);
+    adam.step();
+  }
+  EXPECT_TRUE(w.value().allclose(target, 1e-2f));
+}
+
+TEST(Adam, StepCountAdvances) {
+  nn::Parameter p = make_param({1.0f});
+  Adam adam({&p});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(Adam, LearningRateMutable) {
+  nn::Parameter p = make_param({1.0f});
+  Adam adam({&p}, {.learning_rate = 0.5f});
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.5f);
+  adam.set_learning_rate(0.25f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.25f);
+}
+
+TEST(ClipGradNorm, ScalesOnlyWhenAboveThreshold) {
+  nn::Parameter p = make_param({3.0f, 4.0f});
+  p.grad() = Tensor({2}, std::vector<float>{3.0f, 4.0f});  // norm 5
+  const float before = clip_grad_norm({&p}, 10.0f);
+  EXPECT_NEAR(before, 5.0f, 1e-5f);
+  EXPECT_NEAR(l2_norm(p.grad()), 5.0f, 1e-5f);  // unchanged
+
+  const float again = clip_grad_norm({&p}, 1.0f);
+  EXPECT_NEAR(again, 5.0f, 1e-5f);
+  EXPECT_NEAR(l2_norm(p.grad()), 1.0f, 1e-5f);  // clipped
+  EXPECT_THROW(clip_grad_norm({&p}, 0.0f), InvalidArgument);
+}
+
+TEST(Schedules, Constant) {
+  const ConstantLr schedule;
+  EXPECT_FLOAT_EQ(schedule.rate_for(0, 0.1f), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.rate_for(100, 0.1f), 0.1f);
+}
+
+TEST(Schedules, StepDecay) {
+  const StepDecayLr schedule(10, 0.5f);
+  EXPECT_FLOAT_EQ(schedule.rate_for(0, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.rate_for(9, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.rate_for(10, 1.0f), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.rate_for(25, 1.0f), 0.25f);
+  EXPECT_THROW(StepDecayLr(0, 0.5f), InvalidArgument);
+}
+
+TEST(Schedules, CosineDecaysMonotonically) {
+  const CosineLr schedule(20, 0.1f);
+  float previous = schedule.rate_for(0, 1.0f);
+  EXPECT_NEAR(previous, 1.0f, 1e-5f);
+  for (int epoch = 1; epoch <= 20; ++epoch) {
+    const float rate = schedule.rate_for(epoch, 1.0f);
+    EXPECT_LE(rate, previous + 1e-6f);
+    previous = rate;
+  }
+  EXPECT_NEAR(schedule.rate_for(20, 1.0f), 0.1f, 1e-5f);
+  EXPECT_NEAR(schedule.rate_for(100, 1.0f), 0.1f, 1e-5f);  // clamped
+}
+
+TEST(Schedules, ApplyUpdatesOptimizer) {
+  nn::Parameter p = make_param({1.0f});
+  Adam adam({&p}, {.learning_rate = 1.0f});
+  const StepDecayLr schedule(1, 0.1f);
+  schedule.apply(adam, 2, 1.0f);
+  EXPECT_NEAR(adam.learning_rate(), 0.01f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace zkg::optim
