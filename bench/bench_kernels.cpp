@@ -1,10 +1,17 @@
 // google-benchmark micro-benchmarks for the hot kernels: GEMM variants,
 // im2col convolution, softmax/CE, and a full attack step. Not part of the
-// paper; engineering validation of the substrate.
+// paper; engineering validation of the substrate. main() first prints a
+// serial-vs-parallel speedup report for the kernels behind the Fig. 5
+// training-time benches, then runs the registered benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "attacks/fgsm.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "models/lenet.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/loss.hpp"
@@ -27,6 +34,19 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulSerial(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  SerialScope serial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulSerial)->Arg(256);
 
 void BM_MatmulNT(benchmark::State& state) {
   const auto n = state.range(0);
@@ -120,6 +140,69 @@ void BM_GaussianAugment(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianAugment);
 
+// Times `fn` as the best of `reps` runs, in milliseconds.
+template <typename Fn>
+double best_of_ms(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.milliseconds());
+  }
+  return best;
+}
+
+// Prints serial-vs-parallel wall-clock for the two kernels that dominate
+// the Fig. 5 training-time measurements, so the speedup of the unified
+// zkg::parallel_for layer is visible regardless of backend.
+void report_parallel_speedup() {
+  std::printf("parallel backend: %s, %u thread(s) (ZKG_THREADS overrides)\n",
+              parallel_backend_name(), parallel_threads());
+
+  Rng rng(42);
+  const std::int64_t n = 256;
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  benchmark::DoNotOptimize(matmul(a, b));  // warm up pool + caches
+  const double par_ms = best_of_ms(5, [&] {
+    benchmark::DoNotOptimize(matmul(a, b));
+  });
+  double ser_ms;
+  {
+    SerialScope serial;
+    ser_ms = best_of_ms(5, [&] { benchmark::DoNotOptimize(matmul(a, b)); });
+  }
+  std::printf("matmul %ldx%ldx%ld: serial %.2f ms, parallel %.2f ms, "
+              "speedup %.2fx\n",
+              static_cast<long>(n), static_cast<long>(n),
+              static_cast<long>(n), ser_ms, par_ms, ser_ms / par_ms);
+
+  const nn::Conv2dConfig cfg{.in_channels = 3, .out_channels = 16,
+                             .kernel = 3, .stride = 1, .padding = 1};
+  const Tensor x = randn({32, 3, 32, 32}, rng);
+  benchmark::DoNotOptimize(nn::im2col(x, cfg));
+  const double im2col_par_ms = best_of_ms(5, [&] {
+    benchmark::DoNotOptimize(nn::im2col(x, cfg));
+  });
+  double im2col_ser_ms;
+  {
+    SerialScope serial;
+    im2col_ser_ms = best_of_ms(5, [&] {
+      benchmark::DoNotOptimize(nn::im2col(x, cfg));
+    });
+  }
+  std::printf("im2col b=32 3x32x32 k3: serial %.2f ms, parallel %.2f ms, "
+              "speedup %.2fx\n\n",
+              im2col_ser_ms, im2col_par_ms, im2col_ser_ms / im2col_par_ms);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_parallel_speedup();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

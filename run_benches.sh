@@ -1,5 +1,17 @@
 #!/bin/sh
 # Regenerates every paper table/figure: one binary per experiment.
+#
+# Kernel parallelism: every binary runs on the zkg::parallel_for backend
+# chosen at configure time (OpenMP or the in-tree thread pool; the cmake
+# configure step prints "zkg: parallel backend = ..."). ZKG_THREADS=<n>
+# overrides the worker count, e.g. `ZKG_THREADS=8 ./run_benches.sh`.
+# bench_kernels prints a serial-vs-parallel speedup report on startup.
+#
+# To run the threadpool stress tests under ThreadSanitizer (the OpenMP
+# runtime produces TSan false positives, so use the pool backend):
+#   cmake -B build-tsan -S . -DZKG_SANITIZE=thread -DZKG_USE_OPENMP=OFF
+#   cmake --build build-tsan -j
+#   ctest --test-dir build-tsan -R test_threadpool --output-on-failure
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     echo "### $b"

@@ -1,0 +1,66 @@
+// zkg::parallel_for — the single parallel execution entry point for every
+// hot kernel (GEMM variants, im2col/col2im, layout reorders, BatchNorm).
+//
+// The backend is selected at compile time: OpenMP when the build found it
+// and ZKG_USE_OPENMP is ON (CMake defines ZKG_PARALLEL_OPENMP), otherwise
+// the in-tree zkg::ThreadPool. Kernels are therefore parallel regardless
+// of whether OpenMP happened to be available at configure time.
+//
+// Both backends honour the ZKG_THREADS environment variable and share the
+// same semantics: the range [0, count) is split into contiguous chunks,
+// `body(begin, end)` runs once per chunk, the call blocks until the whole
+// range is retired, and the first exception thrown by a chunk is rethrown
+// in the calling thread. Nested and concurrent calls are safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace zkg {
+
+enum class ParallelBackend { kThreadPool, kOpenMP };
+
+/// Backend compiled into this build.
+ParallelBackend parallel_backend();
+
+/// "threadpool" or "openmp"; used by benches and status logging.
+const char* parallel_backend_name();
+
+/// Worker count the backend will use (honours ZKG_THREADS).
+unsigned parallel_threads();
+
+/// Runs `body(begin, end)` over contiguous chunks of [0, count).
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// As above, but no chunk covers fewer than `grain` items (except the
+/// last). Pick the grain with parallel_grain() so cheap bodies are not
+/// drowned in dispatch overhead.
+void parallel_for(std::int64_t count, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Grain so each chunk performs at least `min_chunk_cost` units of work
+/// when one item costs `per_item_cost` (both in arbitrary consistent
+/// units, e.g. flops or bytes).
+inline std::int64_t parallel_grain(std::int64_t per_item_cost,
+                                   std::int64_t min_chunk_cost = 1 << 15) {
+  if (per_item_cost < 1) per_item_cost = 1;
+  const std::int64_t grain = min_chunk_cost / per_item_cost;
+  return grain < 1 ? 1 : grain;
+}
+
+/// RAII scope forcing every zkg::parallel_for (process-wide) to run the
+/// body inline as body(0, count). Used by tests to compare parallel
+/// results bit-for-bit against serial ones and by benches to measure the
+/// serial baseline.
+class SerialScope {
+ public:
+  SerialScope();
+  ~SerialScope();
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+
+  static bool active();
+};
+
+}  // namespace zkg

@@ -1,15 +1,34 @@
 #include "common/threadpool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 
 namespace zkg {
 
+struct ThreadPool::ParallelJob {
+  // `body` points into the caller's frame; it is only dereferenced by
+  // threads that claimed a chunk, and the caller cannot return before every
+  // claimed chunk is retired, so the pointer never dangles.
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  std::int64_t count = 0;
+  std::int64_t chunk = 0;
+  std::int64_t num_chunks = 0;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::int64_t chunks_done = 0;       // guarded by mu
+  std::exception_ptr first_error;     // guarded by mu
+};
+
 ThreadPool::ThreadPool(unsigned num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  if (num_threads == 0) num_threads = default_thread_count();
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -23,6 +42,14 @@ ThreadPool::~ThreadPool() {
   }
   task_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::default_thread_count() {
+  const std::int64_t env = env_or_int("ZKG_THREADS", 0);
+  if (env > 0) {
+    return static_cast<unsigned>(std::min<std::int64_t>(env, 1024));
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -39,6 +66,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_task_error_) {
+    std::exception_ptr error = std::exchange(first_task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -51,11 +83,40 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_task_error_) first_task_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(ParallelJob& job) {
+  for (;;) {
+    const std::int64_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) return;
+    const std::int64_t begin = c * job.chunk;
+    const std::int64_t end = std::min(begin + job.chunk, job.count);
+    // Fail fast: once a chunk threw, remaining chunks are retired unrun.
+    if (!job.failed.load(std::memory_order_acquire)) {
+      try {
+        (*job.body)(begin, end);
+      } catch (...) {
+        job.failed.store(true, std::memory_order_release);
+        const std::lock_guard<std::mutex> lock(job.mu);
+        if (!job.first_error) job.first_error = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(job.mu);
+      if (++job.chunks_done == job.num_chunks) job.done_cv.notify_all();
     }
   }
 }
@@ -63,19 +124,47 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(
     std::int64_t count,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
+  parallel_for(count, 1, body);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t count, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (count <= 0) return;
-  const auto num_chunks =
-      std::min<std::int64_t>(count, static_cast<std::int64_t>(size()));
+  grain = std::max<std::int64_t>(1, grain);
+  // Caller participates, so up to size() + 1 threads can make progress.
+  const std::int64_t target_chunks =
+      std::min<std::int64_t>(count, static_cast<std::int64_t>(size()) + 1);
+  const std::int64_t chunk =
+      std::max(grain, (count + target_chunks - 1) / target_chunks);
+  const std::int64_t num_chunks = (count + chunk - 1) / chunk;
   if (num_chunks <= 1) {
     body(0, count);
     return;
   }
-  const std::int64_t chunk = (count + num_chunks - 1) / num_chunks;
-  for (std::int64_t begin = 0; begin < count; begin += chunk) {
-    const std::int64_t end = std::min(begin + chunk, count);
-    submit([&body, begin, end] { body(begin, end); });
+
+  // shared_ptr: helper tasks may still be queued (and touch the job's
+  // atomics) after the caller has observed completion and returned.
+  auto job = std::make_shared<ParallelJob>();
+  job->body = &body;
+  job->count = count;
+  job->num_chunks = num_chunks;
+  job->chunk = chunk;
+
+  const std::int64_t helpers =
+      std::min<std::int64_t>(static_cast<std::int64_t>(size()), num_chunks - 1);
+  for (std::int64_t i = 0; i < helpers; ++i) {
+    submit([job] { run_chunks(*job); });
   }
-  wait_idle();
+  run_chunks(*job);
+
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&job] { return job->chunks_done == job->num_chunks; });
+  if (job->first_error) {
+    std::exception_ptr error = job->first_error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 ThreadPool& ThreadPool::shared() {

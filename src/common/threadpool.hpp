@@ -1,11 +1,23 @@
 // Small fixed-size thread pool with a parallel_for helper.
 //
-// Used by the tensor kernels when OpenMP is unavailable and by the
-// evaluation harness to attack several batches concurrently.
+// This is the execution engine behind zkg::parallel_for (see
+// common/parallel.hpp) whenever the build did not select OpenMP.
+//
+// Concurrency contract:
+//  * parallel_for tracks completion with a per-call job, so concurrent
+//    calls from different threads never wait on each other's work.
+//  * The calling thread participates in executing chunks, so a nested
+//    parallel_for issued from inside a worker always completes even when
+//    every other worker is busy (caller-runs fallback).
+//  * The first exception thrown by a chunk body is captured and rethrown
+//    in the calling thread once the whole range has been retired.
+//  * Exceptions thrown by submit()ed tasks are captured and rethrown from
+//    the next wait_idle().
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,32 +28,51 @@ namespace zkg {
 
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers (defaults to hardware concurrency, at
-  /// least 1).
+  /// Creates `num_threads` workers; 0 means default_thread_count().
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; tasks may not throw (exceptions terminate).
+  /// Enqueues a task. If the task throws, the exception is captured and
+  /// rethrown from the next wait_idle() call.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception captured from a submitted task (if any).
   void wait_idle();
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Splits [0, count) into contiguous chunks and runs
-  /// `body(begin, end)` on the pool; blocks until complete.
+  /// Splits [0, count) into contiguous chunks and runs `body(begin, end)`
+  /// on the pool plus the calling thread; blocks until complete and
+  /// rethrows the first exception thrown by any chunk. Safe to call
+  /// concurrently from several threads and from inside pool tasks.
   void parallel_for(std::int64_t count,
                     const std::function<void(std::int64_t, std::int64_t)>& body);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// As above, but no chunk covers fewer than `grain` items (except the
+  /// last). Use a coarse grain for cheap per-item bodies so chunk dispatch
+  /// does not dominate.
+  void parallel_for(std::int64_t count, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Process-wide shared pool (lazily constructed with
+  /// default_thread_count() workers).
   static ThreadPool& shared();
 
+  /// ZKG_THREADS environment override when set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency() (at least 1).
+  static unsigned default_thread_count();
+
  private:
+  // Per-parallel_for completion state. Chunks are claimed dynamically via
+  // next_chunk so helper tasks that start late (or never) are harmless.
+  struct ParallelJob;
+
   void worker_loop();
+  static void run_chunks(ParallelJob& job);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -49,6 +80,7 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   std::int64_t in_flight_ = 0;
+  std::exception_ptr first_task_error_;  // from submit()ed tasks
   bool stopping_ = false;
 };
 

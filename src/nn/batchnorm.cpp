@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.hpp"
+
 namespace zkg::nn {
 namespace {
 
@@ -55,27 +57,31 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
   Tensor var({features_});
   if (training) {
     ZKG_CHECK(l.count() > 1) << " BatchNorm training needs > 1 sample";
-    for (std::int64_t f = 0; f < features_; ++f) {
-      double sum = 0.0;
-      for (std::int64_t r = 0; r < l.rows; ++r) {
-        for (std::int64_t i = 0; i < l.inner; ++i) {
-          sum += input[index_of(l, r, f, i)];
+    // Every feature's statistics (and running-stat update) are independent.
+    parallel_for(features_, parallel_grain(2 * l.count()),
+                 [&](std::int64_t f0, std::int64_t f1) {
+      for (std::int64_t f = f0; f < f1; ++f) {
+        double sum = 0.0;
+        for (std::int64_t r = 0; r < l.rows; ++r) {
+          for (std::int64_t i = 0; i < l.inner; ++i) {
+            sum += input[index_of(l, r, f, i)];
+          }
         }
-      }
-      mean[f] = static_cast<float>(sum / l.count());
-      double sq = 0.0;
-      for (std::int64_t r = 0; r < l.rows; ++r) {
-        for (std::int64_t i = 0; i < l.inner; ++i) {
-          const double d = input[index_of(l, r, f, i)] - mean[f];
-          sq += d * d;
+        mean[f] = static_cast<float>(sum / l.count());
+        double sq = 0.0;
+        for (std::int64_t r = 0; r < l.rows; ++r) {
+          for (std::int64_t i = 0; i < l.inner; ++i) {
+            const double d = input[index_of(l, r, f, i)] - mean[f];
+            sq += d * d;
+          }
         }
+        var[f] = static_cast<float>(sq / l.count());
+        running_mean_[f] =
+            (1.0f - momentum_) * running_mean_[f] + momentum_ * mean[f];
+        running_var_[f] =
+            (1.0f - momentum_) * running_var_[f] + momentum_ * var[f];
       }
-      var[f] = static_cast<float>(sq / l.count());
-      running_mean_[f] =
-          (1.0f - momentum_) * running_mean_[f] + momentum_ * mean[f];
-      running_var_[f] =
-          (1.0f - momentum_) * running_var_[f] + momentum_ * var[f];
-    }
+    });
   } else {
     mean = running_mean_;
     var = running_var_;
@@ -88,20 +94,23 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
 
   Tensor out(input.shape());
   cached_normalized_ = Tensor(input.shape());
-  for (std::int64_t f = 0; f < features_; ++f) {
-    const float inv_std = cached_inv_std_[f];
-    const float g = gamma_.value()[f];
-    const float b = beta_.value()[f];
-    const float m = mean[f];
-    for (std::int64_t r = 0; r < l.rows; ++r) {
-      for (std::int64_t i = 0; i < l.inner; ++i) {
-        const std::int64_t idx = index_of(l, r, f, i);
-        const float x_hat = (input[idx] - m) * inv_std;
-        cached_normalized_[idx] = x_hat;
-        out[idx] = g * x_hat + b;
+  parallel_for(features_, parallel_grain(2 * l.count()),
+               [&](std::int64_t f0, std::int64_t f1) {
+    for (std::int64_t f = f0; f < f1; ++f) {
+      const float inv_std = cached_inv_std_[f];
+      const float g = gamma_.value()[f];
+      const float b = beta_.value()[f];
+      const float m = mean[f];
+      for (std::int64_t r = 0; r < l.rows; ++r) {
+        for (std::int64_t i = 0; i < l.inner; ++i) {
+          const std::int64_t idx = index_of(l, r, f, i);
+          const float x_hat = (input[idx] - m) * inv_std;
+          cached_normalized_[idx] = x_hat;
+          out[idx] = g * x_hat + b;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -112,45 +121,50 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
   const auto n = static_cast<float>(l.count());
 
   Tensor grad_input(cached_input_shape_);
-  for (std::int64_t f = 0; f < features_; ++f) {
-    // Parameter gradients.
-    double d_gamma = 0.0;
-    double d_beta = 0.0;
-    for (std::int64_t r = 0; r < l.rows; ++r) {
-      for (std::int64_t i = 0; i < l.inner; ++i) {
-        const std::int64_t idx = index_of(l, r, f, i);
-        d_gamma += grad_output[idx] * cached_normalized_[idx];
-        d_beta += grad_output[idx];
-      }
-    }
-    gamma_.grad()[f] += static_cast<float>(d_gamma);
-    beta_.grad()[f] += static_cast<float>(d_beta);
-
-    const float g = gamma_.value()[f];
-    const float inv_std = cached_inv_std_[f];
-    if (!cached_training_) {
-      // Inference statistics are constants: dx = g * inv_std * dy.
+  // Per-feature gradients touch disjoint slices of grad_input and of the
+  // gamma/beta gradient vectors.
+  parallel_for(features_, parallel_grain(3 * l.count()),
+               [&](std::int64_t f0, std::int64_t f1) {
+    for (std::int64_t f = f0; f < f1; ++f) {
+      // Parameter gradients.
+      double d_gamma = 0.0;
+      double d_beta = 0.0;
       for (std::int64_t r = 0; r < l.rows; ++r) {
         for (std::int64_t i = 0; i < l.inner; ++i) {
           const std::int64_t idx = index_of(l, r, f, i);
-          grad_input[idx] = grad_output[idx] * g * inv_std;
+          d_gamma += grad_output[idx] * cached_normalized_[idx];
+          d_beta += grad_output[idx];
         }
       }
-      continue;
-    }
-    // Training: mean/var depend on the batch.
-    // dx = g*inv_std/n * (n*dy - sum(dy) - x_hat * sum(dy*x_hat)).
-    const float sum_dy = static_cast<float>(d_beta);
-    const float sum_dy_xhat = static_cast<float>(d_gamma);
-    const float scale = g * inv_std / n;
-    for (std::int64_t r = 0; r < l.rows; ++r) {
-      for (std::int64_t i = 0; i < l.inner; ++i) {
-        const std::int64_t idx = index_of(l, r, f, i);
-        grad_input[idx] = scale * (n * grad_output[idx] - sum_dy -
-                                   cached_normalized_[idx] * sum_dy_xhat);
+      gamma_.grad()[f] += static_cast<float>(d_gamma);
+      beta_.grad()[f] += static_cast<float>(d_beta);
+
+      const float g = gamma_.value()[f];
+      const float inv_std = cached_inv_std_[f];
+      if (!cached_training_) {
+        // Inference statistics are constants: dx = g * inv_std * dy.
+        for (std::int64_t r = 0; r < l.rows; ++r) {
+          for (std::int64_t i = 0; i < l.inner; ++i) {
+            const std::int64_t idx = index_of(l, r, f, i);
+            grad_input[idx] = grad_output[idx] * g * inv_std;
+          }
+        }
+        continue;
+      }
+      // Training: mean/var depend on the batch.
+      // dx = g*inv_std/n * (n*dy - sum(dy) - x_hat * sum(dy*x_hat)).
+      const float sum_dy = static_cast<float>(d_beta);
+      const float sum_dy_xhat = static_cast<float>(d_gamma);
+      const float scale = g * inv_std / n;
+      for (std::int64_t r = 0; r < l.rows; ++r) {
+        for (std::int64_t i = 0; i < l.inner; ++i) {
+          const std::int64_t idx = index_of(l, r, f, i);
+          grad_input[idx] = scale * (n * grad_output[idx] - sum_dy -
+                                     cached_normalized_[idx] * sum_dy_xhat);
+        }
       }
     }
-  }
+  });
   return grad_input;
 }
 

@@ -1,7 +1,9 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/parallel.hpp"
 #include "nn/init.hpp"
 #include "tensor/linalg.hpp"
 
@@ -42,9 +44,13 @@ Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
   Tensor cols({b * oh * ow, patch});
   const float* in = input.data();
   float* out = cols.data();
-#pragma omp parallel for schedule(static) if (b > 1)
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
+  // Each (bi, oy) output row strip is independent; flattening over b*oh
+  // scales past tiny batch sizes.
+  parallel_for(b * oh, parallel_grain(ow * patch),
+               [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t bi = r / oh;
+      const std::int64_t oy = r % oh;
       for (std::int64_t ox = 0; ox < ow; ++ox) {
         float* row = out + ((bi * oh + oy) * ow + ox) * patch;
         const std::int64_t y0 = oy * cfg.stride - cfg.padding;
@@ -62,7 +68,7 @@ Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -85,30 +91,32 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape,
   Tensor image(input_shape);
   const float* in = cols.data();
   float* out = image.data();
-  // Patches overlap, so the scatter accumulates; parallel over batch keeps
-  // writes disjoint.
-#pragma omp parallel for schedule(static) if (b > 1)
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float* row = in + ((bi * oh + oy) * ow + ox) * patch;
-        const std::int64_t y0 = oy * cfg.stride - cfg.padding;
-        const std::int64_t x0 = ox * cfg.stride - cfg.padding;
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          float* plane = out + (bi * c + ci) * h * w;
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            const std::int64_t y = y0 + ky;
-            if (y < 0 || y >= h) continue;
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t x = x0 + kx;
-              if (x < 0 || x >= w) continue;
-              plane[y * w + x] += row[(ci * k + ky) * k + kx];
+  // Patches overlap, so the scatter accumulates; parallelism stays over the
+  // batch dimension only, which keeps writes disjoint.
+  parallel_for(b, parallel_grain(oh * ow * patch),
+               [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t bi = b0; bi < b1; ++bi) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float* row = in + ((bi * oh + oy) * ow + ox) * patch;
+          const std::int64_t y0 = oy * cfg.stride - cfg.padding;
+          const std::int64_t x0 = ox * cfg.stride - cfg.padding;
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            float* plane = out + (bi * c + ci) * h * w;
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              const std::int64_t y = y0 + ky;
+              if (y < 0 || y >= h) continue;
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t x = x0 + kx;
+                if (x < 0 || x >= w) continue;
+                plane[y * w + x] += row[(ci * k + ky) * k + kx];
+              }
             }
           }
         }
       }
     }
-  }
+  });
   return image;
 }
 
@@ -137,19 +145,22 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   Tensor flat = matmul_nt(cached_cols_, weight_.value());
   add_row_bias_(flat, bias_.value());
 
-  // Reorder [B*OH*OW, OC] -> [B, OC, OH, OW].
+  // Reorder [B*OH*OW, OC] -> [B, OC, OH, OW]; batch images are disjoint.
   Tensor out({b, cfg_.out_channels, oh, ow});
   const std::int64_t spatial = oh * ow;
   const float* src = flat.data();
   float* dst = out.data();
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t s = 0; s < spatial; ++s) {
-      const float* row = src + (bi * spatial + s) * cfg_.out_channels;
-      for (std::int64_t oc = 0; oc < cfg_.out_channels; ++oc) {
-        dst[(bi * cfg_.out_channels + oc) * spatial + s] = row[oc];
+  parallel_for(b, parallel_grain(spatial * cfg_.out_channels),
+               [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t bi = b0; bi < b1; ++bi) {
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        const float* row = src + (bi * spatial + s) * cfg_.out_channels;
+        for (std::int64_t oc = 0; oc < cfg_.out_channels; ++oc) {
+          dst[(bi * cfg_.out_channels + oc) * spatial + s] = row[oc];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -162,19 +173,22 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
             Shape({b, cfg_.out_channels, oh, ow}))
       << " Conv2d backward shape " << shape_to_string(grad_output.shape());
 
-  // Reorder [B, OC, OH, OW] -> [B*OH*OW, OC].
+  // Reorder [B, OC, OH, OW] -> [B*OH*OW, OC]; batch images are disjoint.
   const std::int64_t spatial = oh * ow;
   Tensor grad_flat({b * spatial, cfg_.out_channels});
   const float* src = grad_output.data();
   float* dst = grad_flat.data();
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t oc = 0; oc < cfg_.out_channels; ++oc) {
-      const float* plane = src + (bi * cfg_.out_channels + oc) * spatial;
-      for (std::int64_t s = 0; s < spatial; ++s) {
-        dst[(bi * spatial + s) * cfg_.out_channels + oc] = plane[s];
+  parallel_for(b, parallel_grain(spatial * cfg_.out_channels),
+               [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t bi = b0; bi < b1; ++bi) {
+      for (std::int64_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        const float* plane = src + (bi * cfg_.out_channels + oc) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          dst[(bi * spatial + s) * cfg_.out_channels + oc] = plane[s];
+        }
       }
     }
-  }
+  });
 
   weight_.accumulate_grad(matmul_tn(grad_flat, cached_cols_));
   bias_.accumulate_grad(col_sum(grad_flat));

@@ -1,5 +1,9 @@
 #include "tensor/linalg.hpp"
 
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
 namespace zkg {
 namespace {
 
@@ -7,6 +11,12 @@ void check_rank2(const Tensor& t, const char* who) {
   ZKG_CHECK(t.ndim() == 2) << " " << who << " wants rank 2, got "
                            << shape_to_string(t.shape());
 }
+
+// Tile sizes for the blocked GEMM kernels, in float elements. A kTileK x
+// kTileJ tile of B is 64 KiB — it stays resident in L2 while a chunk of
+// rows streams over it, and the kTileJ-wide C/B row segments fit in L1.
+constexpr std::int64_t kTileJ = 256;
+constexpr std::int64_t kTileK = 64;
 
 }  // namespace
 
@@ -22,17 +32,26 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // i-k-j loop order keeps B row-contiguous in the inner loop.
-#pragma omp parallel for schedule(static) if (m > 8)
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Blocked i-k-j: for each (k, j) tile of B the chunk's rows of C are
+  // updated while the tile is hot; the innermost j loop keeps B and C
+  // row-contiguous so it vectorises.
+  parallel_for(m, parallel_grain(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
+      const std::int64_t ke = std::min(kb + kTileK, k);
+      for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
+        const std::int64_t je = std::min(jb + kTileJ, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* crow = pc + i * n;
+          for (std::int64_t kk = kb; kk < ke; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = jb; j < je; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -49,28 +68,36 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-#pragma omp parallel for schedule(static) if (m > 8)
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      // Four independent float accumulators let the compiler vectorise;
-      // float precision is ample for the k <= few-thousand dot products
-      // that occur in this library.
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      std::int64_t kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        acc0 += arow[kk] * brow[kk];
-        acc1 += arow[kk + 1] * brow[kk + 1];
-        acc2 += arow[kk + 2] * brow[kk + 2];
-        acc3 += arow[kk + 3] * brow[kk + 3];
+  // Block the j loop so a band of B rows (jtile * k floats ~ 64 KiB) is
+  // reused across every row i of the chunk.
+  const std::int64_t jtile =
+      std::clamp<std::int64_t>((1 << 14) / std::max<std::int64_t>(1, k), 8, 512);
+  parallel_for(m, parallel_grain(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t jb = 0; jb < n; jb += jtile) {
+      const std::int64_t je = std::min(jb + jtile, n);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::int64_t j = jb; j < je; ++j) {
+          const float* brow = pb + j * k;
+          // Four independent float accumulators let the compiler vectorise;
+          // float precision is ample for the k <= few-thousand dot products
+          // that occur in this library.
+          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+          std::int64_t kk = 0;
+          for (; kk + 4 <= k; kk += 4) {
+            acc0 += arow[kk] * brow[kk];
+            acc1 += arow[kk + 1] * brow[kk + 1];
+            acc2 += arow[kk + 2] * brow[kk + 2];
+            acc3 += arow[kk + 3] * brow[kk + 3];
+          }
+          float acc = (acc0 + acc1) + (acc2 + acc3);
+          for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] = acc;
+        }
       }
-      float acc = (acc0 + acc1) + (acc2 + acc3);
-      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
     }
-  }
+  });
   return c;
 }
 
@@ -87,18 +114,25 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // Accumulate rank-1 updates; k is the batch dimension in backprop so the
-  // outer loop is serial and the inner region is parallelised over m.
-#pragma omp parallel for schedule(static) if (m > 8)
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aki = pa[kk * m + i];
-      if (aki == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+  // Accumulate rank-1 updates; k is the batch dimension in backprop, so
+  // parallelism and blocking mirror matmul with A read column-wise.
+  parallel_for(m, parallel_grain(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
+      const std::int64_t ke = std::min(kb + kTileK, k);
+      for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
+        const std::int64_t je = std::min(jb + kTileJ, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* crow = pc + i * n;
+          for (std::int64_t kk = kb; kk < ke; ++kk) {
+            const float aki = pa[kk * m + i];
+            if (aki == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = jb; j < je; ++j) crow[j] += aki * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -107,9 +141,19 @@ Tensor transpose2d(const Tensor& a) {
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   Tensor out({n, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
-  }
+  const float* pa = a.data();
+  float* pout = out.data();
+  // 64x64 tiles keep both the row-major reads and column-major writes
+  // within a few cache lines per iteration.
+  constexpr std::int64_t kTile = 64;
+  parallel_for(m, parallel_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t jb = 0; jb < n; jb += kTile) {
+      const std::int64_t je = std::min(jb + kTile, n);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t j = jb; j < je; ++j) pout[j * m + i] = pa[i * n + j];
+      }
+    }
+  });
   return out;
 }
 
@@ -121,13 +165,15 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   Tensor y({m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      acc += static_cast<double>(a[i * n + j]) * x[j];
+  parallel_for(m, parallel_grain(2 * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(a[i * n + j]) * x[j];
+      }
+      y[i] = static_cast<float>(acc);
     }
-    y[i] = static_cast<float>(acc);
-  }
+  });
   return y;
 }
 
@@ -140,9 +186,11 @@ void add_row_bias_(Tensor& a, const Tensor& bias) {
   const std::int64_t n = a.dim(1);
   float* pa = a.data();
   const float* pbias = bias.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) pa[i * n + j] += pbias[j];
-  }
+  parallel_for(m, parallel_grain(n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) pa[i * n + j] += pbias[j];
+    }
+  });
 }
 
 Tensor col_sum(const Tensor& a) {
@@ -150,9 +198,16 @@ Tensor col_sum(const Tensor& a) {
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   Tensor out({n});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) out[j] += a[i * n + j];
-  }
+  const float* pa = a.data();
+  float* pout = out.data();
+  // Partition over columns: each chunk owns out[j0, j1) so the row-wise
+  // accumulation stays race-free and summation order per column is fixed.
+  parallel_for(n, parallel_grain(m), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* arow = pa + i * n;
+      for (std::int64_t j = j0; j < j1; ++j) pout[j] += arow[j];
+    }
+  });
   return out;
 }
 

@@ -1,6 +1,7 @@
 // Dense linear algebra kernels (2-D). These back the Dense layer and the
-// im2col-based convolution, so they dominate training time; the plain
-// matmul is blocked and OpenMP-parallel when available.
+// im2col-based convolution, so they dominate training time. Every kernel
+// is cache-blocked and runs on zkg::parallel_for (common/parallel.hpp),
+// so parallelism is identical whichever backend the build selected.
 #pragma once
 
 #include "tensor/tensor.hpp"

@@ -1,0 +1,279 @@
+// Stress tests for the ThreadPool and the unified zkg::parallel_for layer:
+// concurrent callers, nested calls (the pre-fix deadlock shape), exception
+// propagation, edge-case ranges, the ZKG_THREADS override, and bit-exact
+// agreement between parallel and serial kernel results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentParallelForFromManyThreads) {
+  // Pre-fix, parallel_for waited on the pool-global in_flight_ counter, so
+  // concurrent callers waited on each other's work (and could miss newly
+  // submitted chunks). Per-call jobs make each caller independent.
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr std::int64_t kCount = 1000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kCount);
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &hits, t] {
+      for (int repeat = 0; repeat < 10; ++repeat) {
+        pool.parallel_for(kCount, [&hits, t](std::int64_t begin,
+                                             std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            hits[t][static_cast<std::size_t>(i)].fetch_add(1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (const auto& caller_hits : hits) {
+    for (const auto& h : caller_hits) EXPECT_EQ(h.load(), 10);
+  }
+}
+
+TEST(ThreadPoolStress, NestedParallelForCompletes) {
+  // Pre-fix, a parallel_for issued from inside a worker deadlocked: the
+  // worker waited for in_flight_ == 0 while itself counting as in-flight.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(8, [&pool, &total](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t outer = begin; outer < end; ++outer) {
+      pool.parallel_for(64, [&total](std::int64_t b, std::int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ThreadPoolStress, ConcurrentNestedParallelFor) {
+  // The full pre-fix deadlock shape: several external callers, each of
+  // whose chunks issues a nested parallel_for on the same pool.
+  ThreadPool pool(3);
+  constexpr int kCallers = 6;
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &total] {
+      pool.parallel_for(4, [&pool, &total](std::int64_t begin,
+                                           std::int64_t end) {
+        for (std::int64_t outer = begin; outer < end; ++outer) {
+          pool.parallel_for(32, [&total](std::int64_t b, std::int64_t e) {
+            total.fetch_add(e - b);
+          });
+        }
+      });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), kCallers * 4 * 32);
+}
+
+TEST(ThreadPoolStress, ParallelForRethrowsTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::int64_t begin, std::int64_t end) {
+                          for (std::int64_t i = begin; i < end; ++i) {
+                            if (i == 57) throw std::runtime_error("boom at 57");
+                          }
+                        }),
+      std::runtime_error);
+
+  // The pool stays usable after a failed call.
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(100, [&total](std::int64_t b, std::int64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolStress, SubmittedTaskExceptionRethrownFromWaitIdle) {
+  // Pre-fix, a throwing task escaped worker_loop straight into
+  // std::terminate and leaked the in_flight_ count.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);
+  // The error is consumed: a second wait_idle succeeds.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolStress, EmptyAndSingleElementRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(-5, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(1, [&total](std::int64_t b, std::int64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPoolStress, GrainBoundsChunkSize) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  std::atomic<std::int64_t> smallest{1 << 30};
+  pool.parallel_for(100, 40, [&](std::int64_t b, std::int64_t e) {
+    chunks.fetch_add(1);
+    std::int64_t len = e - b;
+    std::int64_t seen = smallest.load();
+    while (len < seen && !smallest.compare_exchange_weak(seen, len)) {
+    }
+  });
+  // ceil(100 / 40) = 3 chunks at most; every chunk but the last >= 40.
+  EXPECT_LE(chunks.load(), 3);
+  EXPECT_GE(smallest.load(), 100 % 40);
+}
+
+TEST(ThreadPoolStress, ZkgThreadsEnvOverridesDefaultSize) {
+  ::setenv("ZKG_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 3u);
+  ::setenv("ZKG_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ::unsetenv("ZKG_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ParallelFor, FreeFunctionCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(257, [&hits](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, FreeFunctionNestedAndThrowing) {
+  std::atomic<std::int64_t> total{0};
+  parallel_for(4, [&total](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t outer = begin; outer < end; ++outer) {
+      parallel_for(16, [&total](std::int64_t b, std::int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 4 * 16);
+
+  EXPECT_THROW(parallel_for(64,
+                            [](std::int64_t, std::int64_t) {
+                              throw std::runtime_error("chunk failed");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, BackendIsReported) {
+  const char* name = parallel_backend_name();
+  EXPECT_TRUE(std::strcmp(name, "threadpool") == 0 ||
+              std::strcmp(name, "openmp") == 0);
+  EXPECT_GE(parallel_threads(), 1u);
+}
+
+TEST(ParallelFor, SerialScopeForcesInlineExecution) {
+  EXPECT_FALSE(SerialScope::active());
+  {
+    SerialScope serial;
+    EXPECT_TRUE(SerialScope::active());
+    int calls = 0;
+    std::thread::id body_thread;
+    parallel_for(1000, [&](std::int64_t begin, std::int64_t end) {
+      ++calls;
+      body_thread = std::this_thread::get_id();
+      EXPECT_EQ(begin, 0);
+      EXPECT_EQ(end, 1000);
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(body_thread, std::this_thread::get_id());
+  }
+  EXPECT_FALSE(SerialScope::active());
+}
+
+TEST(ParallelKernels, MatmulBitIdenticalToSerial) {
+  Rng rng(7);
+  const Tensor a = randn({33, 47}, rng);
+  const Tensor b = randn({47, 29}, rng);
+  const Tensor parallel = matmul(a, b);
+  Tensor serial;
+  {
+    SerialScope scope;
+    serial = matmul(a, b);
+  }
+  ASSERT_EQ(parallel.shape(), serial.shape());
+  EXPECT_EQ(std::memcmp(parallel.data(), serial.data(),
+                        sizeof(float) * static_cast<std::size_t>(parallel.numel())),
+            0);
+}
+
+TEST(ParallelKernels, MatmulVariantsBitIdenticalToSerial) {
+  Rng rng(11);
+  const Tensor a = randn({21, 35}, rng);
+  const Tensor b = randn({18, 35}, rng);   // for nt: [m,k] x [n,k]^T
+  const Tensor c = randn({35, 21}, rng);   // for tn: [k,m]^T x [k,n]
+  const Tensor d = randn({35, 13}, rng);
+  const Tensor nt_par = matmul_nt(a, b);
+  const Tensor tn_par = matmul_tn(c, d);
+  Tensor nt_ser, tn_ser;
+  {
+    SerialScope scope;
+    nt_ser = matmul_nt(a, b);
+    tn_ser = matmul_tn(c, d);
+  }
+  EXPECT_EQ(nt_par.storage(), nt_ser.storage());
+  EXPECT_EQ(tn_par.storage(), tn_ser.storage());
+}
+
+TEST(ParallelKernels, Im2ColBitIdenticalToSerial) {
+  Rng rng(13);
+  const nn::Conv2dConfig cfg{.in_channels = 3, .out_channels = 8,
+                             .kernel = 3, .stride = 1, .padding = 1};
+  const Tensor x = randn({5, 3, 11, 9}, rng);
+  const Tensor parallel = nn::im2col(x, cfg);
+  Tensor serial;
+  {
+    SerialScope scope;
+    serial = nn::im2col(x, cfg);
+  }
+  ASSERT_EQ(parallel.shape(), serial.shape());
+  EXPECT_EQ(parallel.storage(), serial.storage());
+
+  const Tensor back_par = nn::col2im(parallel, x.shape(), cfg);
+  Tensor back_ser;
+  {
+    SerialScope scope;
+    back_ser = nn::col2im(serial, x.shape(), cfg);
+  }
+  EXPECT_EQ(back_par.storage(), back_ser.storage());
+}
+
+}  // namespace
+}  // namespace zkg
