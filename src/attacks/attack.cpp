@@ -12,13 +12,23 @@ namespace zkg::attacks {
 Tensor input_gradient(models::Classifier& model, const Tensor& images,
                       const std::vector<std::int64_t>& labels,
                       float* loss_out) {
-  model.zero_grad();
-  const Tensor logits = model.forward(images, /*training=*/false);
-  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
-  Tensor grad = model.backward(loss.grad);
-  model.zero_grad();
-  if (loss_out != nullptr) *loss_out = loss.value;
+  GradientScratch scratch;
+  Tensor grad;
+  const float loss = input_gradient_into(model, images, labels, scratch, grad);
+  if (loss_out != nullptr) *loss_out = loss;
   return grad;
+}
+
+float input_gradient_into(models::Classifier& model, const Tensor& images,
+                          const std::vector<std::int64_t>& labels,
+                          GradientScratch& scratch, Tensor& grad) {
+  model.zero_grad();
+  model.forward_into(images, scratch.logits, /*training=*/false);
+  const float loss =
+      nn::softmax_cross_entropy_into(scratch.logits, labels, scratch.loss_grad);
+  model.backward_into(scratch.loss_grad, grad);
+  model.zero_grad();
+  return loss;
 }
 
 std::vector<float> per_example_loss(models::Classifier& model,

@@ -35,6 +35,15 @@ class Attack {
   /// parameter gradients zeroed.
   virtual Tensor generate(models::Classifier& model, const Tensor& images,
                           const std::vector<std::int64_t>& labels) = 0;
+
+  /// Writes the adversarial batch into `adv` (resized in place), letting
+  /// trainers reuse one buffer across steps. The gradient attacks override
+  /// this with a fully in-place path; the default delegates to generate().
+  virtual void generate_into(models::Classifier& model, const Tensor& images,
+                             const std::vector<std::int64_t>& labels,
+                             Tensor& adv) {
+    adv = generate(model, images, labels);
+  }
 };
 
 using AttackPtr = std::unique_ptr<Attack>;
@@ -46,6 +55,19 @@ using AttackPtr = std::unique_ptr<Attack>;
 Tensor input_gradient(models::Classifier& model, const Tensor& images,
                       const std::vector<std::int64_t>& labels,
                       float* loss_out = nullptr);
+
+/// Reusable temporaries for input_gradient_into; keeping one per attack
+/// instance makes repeated gradient queries allocation-free.
+struct GradientScratch {
+  Tensor logits;
+  Tensor loss_grad;
+};
+
+/// As input_gradient, but writes the image gradient into `grad` and routes
+/// intermediates through `scratch`. Returns the loss. Bit-identical.
+float input_gradient_into(models::Classifier& model, const Tensor& images,
+                          const std::vector<std::int64_t>& labels,
+                          GradientScratch& scratch, Tensor& grad);
 
 /// Per-example cross-entropy losses (used by PGD restart selection).
 std::vector<float> per_example_loss(models::Classifier& model,

@@ -14,13 +14,19 @@ Bim::Bim(AttackBudget budget) : budget_(budget) {
 
 Tensor Bim::generate(models::Classifier& model, const Tensor& images,
                      const std::vector<std::int64_t>& labels) {
-  Tensor adv = images;
+  Tensor adv;
+  generate_into(model, images, labels, adv);
+  return adv;
+}
+
+void Bim::generate_into(models::Classifier& model, const Tensor& images,
+                        const std::vector<std::int64_t>& labels, Tensor& adv) {
+  adv = images;
   for (std::int64_t it = 0; it < budget_.iterations; ++it) {
-    const Tensor grad = input_gradient(model, adv, labels);
-    axpy_(adv, budget_.step_size, sign(grad));
+    input_gradient_into(model, adv, labels, scratch_, grad_);
+    add_scaled_sign_(adv, budget_.step_size, grad_);
     project_linf_(adv, images, budget_.epsilon);
   }
-  return adv;
 }
 
 }  // namespace zkg::attacks

@@ -14,11 +14,17 @@ class Bim : public Attack {
   std::string name() const override { return "BIM"; }
   Tensor generate(models::Classifier& model, const Tensor& images,
                   const std::vector<std::int64_t>& labels) override;
+  void generate_into(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels,
+                     Tensor& adv) override;
 
   const AttackBudget& budget() const { return budget_; }
 
  private:
   AttackBudget budget_;
+  // Per-iteration temporaries reused across calls.
+  GradientScratch scratch_;
+  Tensor grad_;
 };
 
 }  // namespace zkg::attacks

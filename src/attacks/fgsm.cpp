@@ -10,10 +10,18 @@ Fgsm::Fgsm(AttackBudget budget) : budget_(budget) {
 
 Tensor Fgsm::generate(models::Classifier& model, const Tensor& images,
                       const std::vector<std::int64_t>& labels) {
-  const Tensor grad = input_gradient(model, images, labels);
-  Tensor adv = add(images, mul(sign(grad), budget_.epsilon));
-  project_linf_(adv, images, budget_.epsilon);
+  Tensor adv;
+  generate_into(model, images, labels, adv);
   return adv;
+}
+
+void Fgsm::generate_into(models::Classifier& model, const Tensor& images,
+                         const std::vector<std::int64_t>& labels,
+                         Tensor& adv) {
+  input_gradient_into(model, images, labels, scratch_, grad_);
+  adv = images;
+  add_scaled_sign_(adv, budget_.epsilon, grad_);
+  project_linf_(adv, images, budget_.epsilon);
 }
 
 }  // namespace zkg::attacks

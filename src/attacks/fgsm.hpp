@@ -13,11 +13,17 @@ class Fgsm : public Attack {
   std::string name() const override { return "FGSM"; }
   Tensor generate(models::Classifier& model, const Tensor& images,
                   const std::vector<std::int64_t>& labels) override;
+  void generate_into(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels,
+                     Tensor& adv) override;
 
   const AttackBudget& budget() const { return budget_; }
 
  private:
   AttackBudget budget_;
+  // Temporaries reused across calls.
+  GradientScratch scratch_;
+  Tensor grad_;
 };
 
 }  // namespace zkg::attacks

@@ -1,6 +1,7 @@
 #include "attacks/pgd.hpp"
 
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 #include "tensor/random.hpp"
 
 namespace zkg::attacks {
@@ -13,43 +14,54 @@ Pgd::Pgd(AttackBudget budget, Rng& rng) : budget_(budget), rng_(rng.fork()) {
       << ", restarts=" << budget_.restarts << ")";
 }
 
-Tensor Pgd::run_once(models::Classifier& model, const Tensor& images,
-                     const std::vector<std::int64_t>& labels) {
-  Tensor adv = add(images, rand_uniform(images.shape(), rng_,
-                                        -budget_.epsilon, budget_.epsilon));
+void Pgd::run_once(models::Classifier& model, const Tensor& images,
+                   const std::vector<std::int64_t>& labels, Tensor& adv) {
+  ensure_shape(adv, images.shape());
+  // adv = images + U(-eps, eps), drawing noise in the same element order as
+  // the rand_uniform + add formulation.
+  const float* src = images.data();
+  float* dst = adv.data();
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    dst[i] = src[i] + rng_.uniform(-budget_.epsilon, budget_.epsilon);
+  }
   project_linf_(adv, images, budget_.epsilon);
   for (std::int64_t it = 0; it < budget_.iterations; ++it) {
-    const Tensor grad = input_gradient(model, adv, labels);
-    axpy_(adv, budget_.step_size, sign(grad));
+    input_gradient_into(model, adv, labels, scratch_, grad_);
+    add_scaled_sign_(adv, budget_.step_size, grad_);
     project_linf_(adv, images, budget_.epsilon);
   }
-  return adv;
 }
 
 Tensor Pgd::generate(models::Classifier& model, const Tensor& images,
                      const std::vector<std::int64_t>& labels) {
-  Tensor best = run_once(model, images, labels);
-  if (budget_.restarts == 1) return best;
+  Tensor adv;
+  generate_into(model, images, labels, adv);
+  return adv;
+}
+
+void Pgd::generate_into(models::Classifier& model, const Tensor& images,
+                        const std::vector<std::int64_t>& labels, Tensor& best) {
+  run_once(model, images, labels, best);
+  if (budget_.restarts == 1) return;
 
   std::vector<float> best_loss = per_example_loss(model, best, labels);
   const std::int64_t batch = images.dim(0);
   const std::int64_t stride = images.numel() / batch;
   for (std::int64_t r = 1; r < budget_.restarts; ++r) {
-    Tensor candidate = run_once(model, images, labels);
+    run_once(model, images, labels, candidate_);
     const std::vector<float> cand_loss =
-        per_example_loss(model, candidate, labels);
+        per_example_loss(model, candidate_, labels);
     for (std::int64_t i = 0; i < batch; ++i) {
       if (cand_loss[static_cast<std::size_t>(i)] >
           best_loss[static_cast<std::size_t>(i)]) {
         best_loss[static_cast<std::size_t>(i)] =
             cand_loss[static_cast<std::size_t>(i)];
-        std::copy(candidate.data() + i * stride,
-                  candidate.data() + (i + 1) * stride,
+        std::copy(candidate_.data() + i * stride,
+                  candidate_.data() + (i + 1) * stride,
                   best.data() + i * stride);
       }
     }
   }
-  return best;
 }
 
 }  // namespace zkg::attacks

@@ -15,16 +15,24 @@ class Pgd : public Attack {
   std::string name() const override { return "PGD"; }
   Tensor generate(models::Classifier& model, const Tensor& images,
                   const std::vector<std::int64_t>& labels) override;
+  void generate_into(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels,
+                     Tensor& adv) override;
 
   const AttackBudget& budget() const { return budget_; }
 
  private:
-  /// One random-start BIM run.
-  Tensor run_once(models::Classifier& model, const Tensor& images,
-                  const std::vector<std::int64_t>& labels);
+  /// One random-start BIM run, written into `adv`.
+  void run_once(models::Classifier& model, const Tensor& images,
+                const std::vector<std::int64_t>& labels, Tensor& adv);
 
   AttackBudget budget_;
   Rng rng_;
+  // Per-iteration temporaries reused across calls (single-restart PGD is
+  // allocation-free at steady state).
+  GradientScratch scratch_;
+  Tensor grad_;
+  Tensor candidate_;
 };
 
 }  // namespace zkg::attacks

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 #include "tensor/random.hpp"
 
 namespace zkg::data {
@@ -40,11 +41,22 @@ TrainTestSplit separate(const Dataset& full, std::int64_t test_count,
 }
 
 Tensor gaussian_augment(const Tensor& images, Rng& rng, float sigma) {
-  ZKG_CHECK(sigma >= 0.0f) << " sigma " << sigma;
-  Tensor noise = randn(images.shape(), rng, 0.0f, sigma);
-  Tensor out = add(images, noise);
-  clamp_(out, kPixelMin, kPixelMax);
+  Tensor out;
+  gaussian_augment_into(out, images, rng, sigma);
   return out;
+}
+
+void gaussian_augment_into(Tensor& out, const Tensor& images, Rng& rng,
+                           float sigma) {
+  ZKG_CHECK(sigma >= 0.0f) << " sigma " << sigma;
+  ensure_shape(out, images.shape());
+  const float* src = images.data();
+  float* dst = out.data();
+  // Same per-element noise draw order as randn + add: images[i] + N(0,sigma).
+  for (std::int64_t i = 0; i < images.numel(); ++i) {
+    dst[i] = src[i] + rng.normal(0.0f, sigma);
+  }
+  clamp_(out, kPixelMin, kPixelMax);
 }
 
 Tensor project_valid(const Tensor& images) {

@@ -31,6 +31,11 @@ TrainTestSplit separate(const Dataset& full, std::int64_t test_count, Rng& rng);
 /// into [-1, 1]. The paper (following Kannan et al.) uses mu=0, sigma=1.
 Tensor gaussian_augment(const Tensor& images, Rng& rng, float sigma = 1.0f);
 
+/// As above, but writes into a caller-provided (reusable) tensor. Consumes
+/// the same rng stream and is bit-identical to the value form.
+void gaussian_augment_into(Tensor& out, const Tensor& images, Rng& rng,
+                           float sigma = 1.0f);
+
 /// The regulation function F: projects pixel values back into [-1, 1].
 Tensor project_valid(const Tensor& images);
 

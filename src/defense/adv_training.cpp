@@ -18,20 +18,19 @@ AdversarialTrainer::AdversarialTrainer(models::Classifier& model,
 }
 
 Trainer::BatchStats AdversarialTrainer::train_batch(const data::Batch& batch) {
-  const Tensor adversarial =
-      attack_->generate(model_, batch.images, batch.labels);
+  attack_->generate_into(model_, batch.images, batch.labels, adversarial_);
 
-  const Tensor combined = concat_rows(batch.images, adversarial);
+  concat_rows_into(combined_, batch.images, adversarial_);
   std::vector<std::int64_t> labels = batch.labels;
   labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
 
   model_.zero_grad();
-  const Tensor logits = model_.forward(combined, /*training=*/true);
-  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
-  model_.backward(loss.grad);
+  model_.forward_into(combined_, logits_, /*training=*/true);
+  const float loss = nn::softmax_cross_entropy_into(logits_, labels, grad_);
+  model_.backward_into(grad_, grad_input_);
   optimizer_->step();
   model_.zero_grad();
-  return {loss.value, 0.0f};
+  return {loss, 0.0f};
 }
 
 TrainerPtr make_fgsm_adv(models::Classifier& model, TrainConfig config) {

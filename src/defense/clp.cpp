@@ -12,29 +12,28 @@ Trainer::BatchStats ClpTrainer::train_batch(const data::Batch& batch) {
 
   // Both pair members are Gaussian-perturbed examples (CLP never sees clean
   // inputs — a root cause of its CIFAR10 convergence failure, §V-D).
-  const Tensor perturbed =
-      data::gaussian_augment(batch.images, noise_rng_, config_.sigma);
+  data::gaussian_augment_into(perturbed_, batch.images, noise_rng_,
+                              config_.sigma);
 
   model_.zero_grad();
-  const Tensor logits =
-      model_.forward(perturbed.slice_rows(0, 2 * half), /*training=*/true);
+  model_.forward_into(perturbed_.slice_rows(0, 2 * half), logits_,
+                      /*training=*/true);
   const std::vector<std::int64_t> labels(batch.labels.begin(),
                                          batch.labels.begin() + 2 * half);
 
-  const nn::LossResult ce = nn::softmax_cross_entropy(logits, labels);
-  const Tensor z1 = logits.slice_rows(0, half);
-  const Tensor z2 = logits.slice_rows(half, 2 * half);
+  const float ce_loss = nn::softmax_cross_entropy_into(logits_, labels, grad_);
+  const Tensor z1 = logits_.slice_rows(0, half);
+  const Tensor z2 = logits_.slice_rows(half, 2 * half);
   const nn::PairPenaltyResult pair =
       nn::clean_logit_pairing(z1, z2, config_.lambda);
 
-  Tensor grad = ce.grad;
-  Tensor pair_grad = concat_rows(pair.grad_a, pair.grad_b);
-  add_(grad, pair_grad);
+  concat_rows_into(pair_grad_, pair.grad_a, pair.grad_b);
+  add_(grad_, pair_grad_);
 
-  model_.backward(grad);
+  model_.backward_into(grad_, grad_input_);
   optimizer_->step();
   model_.zero_grad();
-  return {ce.value + pair.value, 0.0f};
+  return {ce_loss + pair.value, 0.0f};
 }
 
 }  // namespace zkg::defense

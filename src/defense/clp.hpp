@@ -21,6 +21,12 @@ class ClpTrainer : public Trainer {
 
  private:
   Rng noise_rng_;
+  // Per-batch temporaries reused across steps.
+  Tensor perturbed_;
+  Tensor logits_;
+  Tensor grad_;
+  Tensor pair_grad_;
+  Tensor grad_input_;
 };
 
 }  // namespace zkg::defense

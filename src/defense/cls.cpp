@@ -7,22 +7,22 @@
 namespace zkg::defense {
 
 Trainer::BatchStats ClsTrainer::train_batch(const data::Batch& batch) {
-  const Tensor perturbed =
-      data::gaussian_augment(batch.images, noise_rng_, config_.sigma);
+  data::gaussian_augment_into(perturbed_, batch.images, noise_rng_,
+                              config_.sigma);
 
   model_.zero_grad();
-  const Tensor logits = model_.forward(perturbed, /*training=*/true);
-  const nn::LossResult ce = nn::softmax_cross_entropy(logits, batch.labels);
-  const nn::LossResult squeeze =
-      nn::clean_logit_squeezing(logits, config_.lambda);
+  model_.forward_into(perturbed_, logits_, /*training=*/true);
+  const float ce_loss =
+      nn::softmax_cross_entropy_into(logits_, batch.labels, grad_);
+  const float squeeze_loss =
+      nn::clean_logit_squeezing_into(logits_, config_.lambda, squeeze_grad_);
 
-  Tensor grad = ce.grad;
-  add_(grad, squeeze.grad);
+  add_(grad_, squeeze_grad_);
 
-  model_.backward(grad);
+  model_.backward_into(grad_, grad_input_);
   optimizer_->step();
   model_.zero_grad();
-  return {ce.value + squeeze.value, 0.0f};
+  return {ce_loss + squeeze_loss, 0.0f};
 }
 
 }  // namespace zkg::defense

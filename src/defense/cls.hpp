@@ -20,6 +20,12 @@ class ClsTrainer : public Trainer {
 
  private:
   Rng noise_rng_;
+  // Per-batch temporaries reused across steps.
+  Tensor perturbed_;
+  Tensor logits_;
+  Tensor grad_;
+  Tensor squeeze_grad_;
+  Tensor grad_input_;
 };
 
 }  // namespace zkg::defense

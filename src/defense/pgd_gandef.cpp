@@ -17,9 +17,10 @@ PgdGanDefTrainer::PgdGanDefTrainer(models::Classifier& model,
         return attacks::Pgd(config.attack, seed);
       }()) {}
 
-Tensor PgdGanDefTrainer::make_perturbed(
-    const Tensor& images, const std::vector<std::int64_t>& labels) {
-  return attack_.generate(model_, images, labels);
+void PgdGanDefTrainer::make_perturbed_into(
+    const Tensor& images, const std::vector<std::int64_t>& labels,
+    Tensor& out) {
+  attack_.generate_into(model_, images, labels, out);
 }
 
 }  // namespace zkg::defense

@@ -16,8 +16,9 @@ class PgdGanDefTrainer : public GanDefTrainerBase {
   std::string name() const override { return "PGD-GanDef"; }
 
  protected:
-  Tensor make_perturbed(const Tensor& images,
-                        const std::vector<std::int64_t>& labels) override;
+  void make_perturbed_into(const Tensor& images,
+                           const std::vector<std::int64_t>& labels,
+                           Tensor& out) override;
 
  private:
   attacks::Pgd attack_;

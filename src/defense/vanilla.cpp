@@ -6,12 +6,13 @@ namespace zkg::defense {
 
 Trainer::BatchStats VanillaTrainer::train_batch(const data::Batch& batch) {
   model_.zero_grad();
-  const Tensor logits = model_.forward(batch.images, /*training=*/true);
-  const nn::LossResult loss = nn::softmax_cross_entropy(logits, batch.labels);
-  model_.backward(loss.grad);
+  model_.forward_into(batch.images, logits_, /*training=*/true);
+  const float loss =
+      nn::softmax_cross_entropy_into(logits_, batch.labels, grad_);
+  model_.backward_into(grad_, grad_input_);
   optimizer_->step();
   model_.zero_grad();
-  return {loss.value, 0.0f};
+  return {loss, 0.0f};
 }
 
 }  // namespace zkg::defense

@@ -15,6 +15,12 @@ class VanillaTrainer : public Trainer {
 
  protected:
   BatchStats train_batch(const data::Batch& batch) override;
+
+ private:
+  // Per-batch temporaries reused across steps.
+  Tensor logits_;
+  Tensor grad_;
+  Tensor grad_input_;
 };
 
 }  // namespace zkg::defense

@@ -1,8 +1,11 @@
 #include "defense/zk_gandef.hpp"
 
+#include <cmath>
+
 #include "data/preprocess.hpp"
 #include "nn/loss.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 
 namespace zkg::defense {
 
@@ -20,80 +23,88 @@ GanDefTrainerBase::GanDefTrainerBase(models::Classifier& model,
 float GanDefTrainerBase::update_discriminator(const Tensor& class_logits,
                                               const Tensor& source_flags) {
   discriminator_.zero_grad();
-  const Tensor d_logits = discriminator_.forward(class_logits, /*training=*/true);
-  const nn::LossResult bce = nn::bce_with_logits(d_logits, source_flags);
-  discriminator_.backward(bce.grad);
+  discriminator_.forward_into(class_logits, d_logits_, /*training=*/true);
+  const float bce_loss =
+      nn::bce_with_logits_into(d_logits_, source_flags, d_grad_);
+  discriminator_.backward_into(d_grad_, d_grad_input_);
   disc_optimizer_->step();
   discriminator_.zero_grad();
 
-  // Diagnostic accuracy of the source predictions.
-  const Tensor probs = nn::sigmoid(d_logits);
+  // Diagnostic accuracy of the source predictions (same sigmoid formula as
+  // nn::sigmoid, computed pointwise to avoid a probability buffer).
   std::int64_t correct = 0;
-  for (std::int64_t i = 0; i < probs.numel(); ++i) {
-    const bool said_perturbed = probs[i] > 0.5f;
+  for (std::int64_t i = 0; i < d_logits_.numel(); ++i) {
+    const float prob = 1.0f / (1.0f + std::exp(-d_logits_[i]));
+    const bool said_perturbed = prob > 0.5f;
     const bool is_perturbed = source_flags[i] > 0.5f;
     if (said_perturbed == is_perturbed) ++correct;
   }
   last_disc_accuracy_ =
-      static_cast<float>(correct) / static_cast<float>(probs.numel());
-  return bce.value;
+      static_cast<float>(correct) / static_cast<float>(d_logits_.numel());
+  return bce_loss;
 }
 
 float GanDefTrainerBase::update_classifier(
     const Tensor& images, const std::vector<std::int64_t>& labels,
     const Tensor& source_flags) {
   model_.zero_grad();
-  const Tensor logits = model_.forward(images, /*training=*/true);
-  const nn::LossResult ce = nn::softmax_cross_entropy(logits, labels);
+  model_.forward_into(images, logits_, /*training=*/true);
+  const float ce_loss =
+      nn::softmax_cross_entropy_into(logits_, labels, grad_);
 
   // Gradient of the (frozen) discriminator's BCE w.r.t. the logits. The
   // backward pass accumulates into D's parameters too; those are discarded
   // by the zero_grad below, which is exactly "fix Omega_D" in Algorithm 1.
-  const Tensor d_logits = discriminator_.forward(logits, /*training=*/true);
-  const nn::LossResult bce = nn::bce_with_logits(d_logits, source_flags);
-  const Tensor bce_grad_wrt_logits = discriminator_.backward(bce.grad);
+  discriminator_.forward_into(logits_, d_logits_, /*training=*/true);
+  nn::bce_with_logits_into(d_logits_, source_flags, d_grad_);
+  discriminator_.backward_into(d_grad_, bce_grad_wrt_logits_);
   discriminator_.zero_grad();
 
   // min_C  CE - gamma * BCE  =>  dL/dz = dCE/dz - gamma * dBCE/dz.
-  Tensor grad = ce.grad;
-  axpy_(grad, -config_.gamma, bce_grad_wrt_logits);
+  axpy_(grad_, -config_.gamma, bce_grad_wrt_logits_);
 
-  model_.backward(grad);
+  model_.backward_into(grad_, grad_input_);
   optimizer_->step();
   model_.zero_grad();
-  return ce.value;
+  return ce_loss;
 }
 
 Trainer::BatchStats GanDefTrainerBase::train_batch(const data::Batch& batch) {
   // Evenly sampled clean and perturbed halves (Algorithm 1 lines 4/9). The
   // whole batch contributes in both roles: clean copies first, perturbed
   // copies second.
-  const Tensor perturbed = make_perturbed(batch.images, batch.labels);
-  const Tensor combined = concat_rows(batch.images, perturbed);
-  std::vector<std::int64_t> labels = batch.labels;
-  labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
+  make_perturbed_into(batch.images, batch.labels, perturbed_);
+  concat_rows_into(combined_, batch.images, perturbed_);
+  combined_labels_.assign(batch.labels.begin(), batch.labels.end());
+  combined_labels_.insert(combined_labels_.end(), batch.labels.begin(),
+                          batch.labels.end());
 
-  Tensor source_flags({2 * batch.size(), 1});
+  ensure_shape(source_flags_, {2 * batch.size(), 1});
+  for (std::int64_t i = 0; i < batch.size(); ++i) {
+    source_flags_[i] = 0.0f;  // 0 = clean
+  }
   for (std::int64_t i = batch.size(); i < 2 * batch.size(); ++i) {
-    source_flags[i] = 1.0f;  // 1 = perturbed
+    source_flags_[i] = 1.0f;  // 1 = perturbed
   }
 
   // Discriminator iterations (classifier frozen: forward only, no update).
   float disc_loss = 0.0f;
   for (std::int64_t step = 0; step < config_.disc_steps; ++step) {
-    const Tensor logits = model_.forward(combined, /*training=*/true);
-    disc_loss = update_discriminator(logits, source_flags);
+    model_.forward_into(combined_, logits_, /*training=*/true);
+    disc_loss = update_discriminator(logits_, source_flags_);
   }
   model_.zero_grad();
 
   // One classifier update (discriminator frozen).
-  const float ce = update_classifier(combined, labels, source_flags);
+  const float ce = update_classifier(combined_, combined_labels_,
+                                     source_flags_);
   return {ce, disc_loss};
 }
 
-Tensor ZkGanDefTrainer::make_perturbed(
-    const Tensor& images, const std::vector<std::int64_t>& /*labels*/) {
-  return data::gaussian_augment(images, noise_rng_, config_.sigma);
+void ZkGanDefTrainer::make_perturbed_into(
+    const Tensor& images, const std::vector<std::int64_t>& /*labels*/,
+    Tensor& out) {
+  data::gaussian_augment_into(out, images, noise_rng_, config_.sigma);
 }
 
 }  // namespace zkg::defense

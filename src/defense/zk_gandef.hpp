@@ -34,9 +34,11 @@ class GanDefTrainerBase : public Trainer {
  protected:
   BatchStats train_batch(const data::Batch& batch) override;
 
-  /// Produces the perturbed counterpart of `images` (defense-specific).
-  virtual Tensor make_perturbed(const Tensor& images,
-                                const std::vector<std::int64_t>& labels) = 0;
+  /// Produces the perturbed counterpart of `images` into `out`, which is a
+  /// buffer the base class reuses across steps (defense-specific).
+  virtual void make_perturbed_into(const Tensor& images,
+                                   const std::vector<std::int64_t>& labels,
+                                   Tensor& out) = 0;
 
  private:
   /// One discriminator update on frozen classifier logits. Returns BCE.
@@ -50,6 +52,19 @@ class GanDefTrainerBase : public Trainer {
   models::Discriminator discriminator_;
   std::unique_ptr<optim::Adam> disc_optimizer_;
   float last_disc_accuracy_ = 0.0f;
+
+  // Per-batch temporaries reused across steps.
+  Tensor perturbed_;
+  Tensor combined_;
+  Tensor source_flags_;
+  Tensor logits_;
+  Tensor grad_;
+  Tensor grad_input_;
+  Tensor d_logits_;
+  Tensor d_grad_;
+  Tensor d_grad_input_;
+  Tensor bce_grad_wrt_logits_;
+  std::vector<std::int64_t> combined_labels_;
 };
 
 class ZkGanDefTrainer : public GanDefTrainerBase {
@@ -60,8 +75,9 @@ class ZkGanDefTrainer : public GanDefTrainerBase {
   std::string name() const override { return "ZK-GanDef"; }
 
  protected:
-  Tensor make_perturbed(const Tensor& images,
-                        const std::vector<std::int64_t>& labels) override;
+  void make_perturbed_into(const Tensor& images,
+                           const std::vector<std::int64_t>& labels,
+                           Tensor& out) override;
 
  private:
   Rng noise_rng_;

@@ -13,21 +13,32 @@ Classifier::Classifier(std::string name, InputSpec spec, nn::Sequential net)
 }
 
 Tensor Classifier::forward(const Tensor& images, bool training) {
+  Tensor logits;
+  forward_into(images, logits, training);
+  return logits;
+}
+
+void Classifier::forward_into(const Tensor& images, Tensor& logits,
+                              bool training) {
   ZKG_CHECK(images.ndim() == 4 && images.dim(1) == spec_.channels &&
             images.dim(2) == spec_.height && images.dim(3) == spec_.width)
       << " classifier " << name_ << " expects [B, " << spec_.channels << ", "
       << spec_.height << ", " << spec_.width << "], got "
       << shape_to_string(images.shape());
-  Tensor logits = net_.forward(images, training);
+  net_.forward_into(images, logits, training);
   ZKG_CHECK(logits.ndim() == 2 && logits.dim(1) == spec_.num_classes)
       << " classifier " << name_ << " produced "
       << shape_to_string(logits.shape()) << ", expected [B, "
       << spec_.num_classes << "]";
-  return logits;
 }
 
 Tensor Classifier::backward(const Tensor& grad_logits) {
   return net_.backward(grad_logits);
+}
+
+void Classifier::backward_into(const Tensor& grad_logits,
+                               Tensor& grad_images) {
+  net_.backward_into(grad_logits, grad_images);
 }
 
 std::vector<std::int64_t> Classifier::predict(const Tensor& images) {

@@ -36,9 +36,12 @@ class Classifier {
 
   /// Pre-softmax logits [B, num_classes] for images [B, C, H, W].
   Tensor forward(const Tensor& images, bool training);
+  /// Same, writing into a caller-provided (reusable) tensor.
+  void forward_into(const Tensor& images, Tensor& logits, bool training);
 
   /// Back-propagates a logit gradient; returns the image gradient.
   Tensor backward(const Tensor& grad_logits);
+  void backward_into(const Tensor& grad_logits, Tensor& grad_images);
 
   /// Predicted class per image (argmax of logits, inference mode).
   std::vector<std::int64_t> predict(const Tensor& images);

@@ -22,9 +22,11 @@ class Discriminator {
 
   /// Raw source logit [B, 1] for classifier logits [B, num_classes].
   Tensor forward(const Tensor& class_logits, bool training);
+  void forward_into(const Tensor& class_logits, Tensor& out, bool training);
 
   /// Back-propagates to the classifier logits (the GAN coupling path).
   Tensor backward(const Tensor& grad_output);
+  void backward_into(const Tensor& grad_output, Tensor& grad_logits);
 
   /// P(input was perturbed) in [0, 1], shape [B, 1]. Inference only.
   Tensor probability(const Tensor& class_logits);

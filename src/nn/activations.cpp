@@ -3,56 +3,55 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/pool.hpp"
+
 namespace zkg::nn {
 
-Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+void ReLU::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
   cached_input_ = input;
-  Tensor out(input.shape());
-  const float* in = input.data();
+  ensure_shape(out, input.shape());
+  const float* in = cached_input_.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
     po[i] = in[i] > 0.0f ? in[i] : 0.0f;
   }
-  return out;
 }
 
-Tensor ReLU::backward(const Tensor& grad_output) {
+void ReLU::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   check_same_shape(grad_output, cached_input_, "ReLU::backward");
-  Tensor grad(grad_output.shape());
+  ensure_shape(grad_input, grad_output.shape());
   const float* in = cached_input_.data();
   const float* go = grad_output.data();
-  float* g = grad.data();
-  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+  float* g = grad_input.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
     g[i] = in[i] > 0.0f ? go[i] : 0.0f;
   }
-  return grad;
 }
 
 LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {
   ZKG_CHECK(negative_slope >= 0.0f) << " LeakyReLU slope " << negative_slope;
 }
 
-Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+void LeakyReLU::forward_into(const Tensor& input, Tensor& out,
+                             bool /*training*/) {
   cached_input_ = input;
-  Tensor out(input.shape());
-  const float* in = input.data();
+  ensure_shape(out, input.shape());
+  const float* in = cached_input_.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
     po[i] = in[i] > 0.0f ? in[i] : slope_ * in[i];
   }
-  return out;
 }
 
-Tensor LeakyReLU::backward(const Tensor& grad_output) {
+void LeakyReLU::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   check_same_shape(grad_output, cached_input_, "LeakyReLU::backward");
-  Tensor grad(grad_output.shape());
+  ensure_shape(grad_input, grad_output.shape());
   const float* in = cached_input_.data();
   const float* go = grad_output.data();
-  float* g = grad.data();
-  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+  float* g = grad_input.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
     g[i] = in[i] > 0.0f ? go[i] : slope_ * go[i];
   }
-  return grad;
 }
 
 std::string LeakyReLU::name() const {
@@ -61,48 +60,45 @@ std::string LeakyReLU::name() const {
   return out.str();
 }
 
-Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
-  Tensor out(input.shape());
+void Sigmoid::forward_into(const Tensor& input, Tensor& out,
+                           bool /*training*/) {
+  ensure_shape(out, input.shape());
   const float* in = input.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < input.numel(); ++i) {
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
     po[i] = 1.0f / (1.0f + std::exp(-in[i]));
   }
   cached_output_ = out;
-  return out;
 }
 
-Tensor Sigmoid::backward(const Tensor& grad_output) {
+void Sigmoid::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   check_same_shape(grad_output, cached_output_, "Sigmoid::backward");
-  Tensor grad(grad_output.shape());
+  ensure_shape(grad_input, grad_output.shape());
   const float* y = cached_output_.data();
   const float* go = grad_output.data();
-  float* g = grad.data();
-  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+  float* g = grad_input.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
     g[i] = go[i] * y[i] * (1.0f - y[i]);
   }
-  return grad;
 }
 
-Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
-  Tensor out(input.shape());
+void Tanh::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
+  ensure_shape(out, input.shape());
   const float* in = input.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < input.numel(); ++i) po[i] = std::tanh(in[i]);
+  for (std::int64_t i = 0; i < out.numel(); ++i) po[i] = std::tanh(in[i]);
   cached_output_ = out;
-  return out;
 }
 
-Tensor Tanh::backward(const Tensor& grad_output) {
+void Tanh::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   check_same_shape(grad_output, cached_output_, "Tanh::backward");
-  Tensor grad(grad_output.shape());
+  ensure_shape(grad_input, grad_output.shape());
   const float* y = cached_output_.data();
   const float* go = grad_output.data();
-  float* g = grad.data();
-  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+  float* g = grad_input.data();
+  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
     g[i] = go[i] * (1.0f - y[i] * y[i]);
   }
-  return grad;
 }
 
 }  // namespace zkg::nn

@@ -7,8 +7,8 @@ namespace zkg::nn {
 
 class ReLU : public Module {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -18,8 +18,8 @@ class ReLU : public Module {
 class LeakyReLU : public Module {
  public:
   explicit LeakyReLU(float negative_slope = 0.01f);
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override;
 
  private:
@@ -29,8 +29,8 @@ class LeakyReLU : public Module {
 
 class Sigmoid : public Module {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
@@ -39,8 +39,8 @@ class Sigmoid : public Module {
 
 class Tanh : public Module {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override { return "Tanh"; }
 
  private:

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/parallel.hpp"
+#include "tensor/pool.hpp"
 
 namespace zkg::nn {
 namespace {
@@ -48,13 +49,16 @@ BatchNorm::BatchNorm(std::int64_t features, float momentum, float epsilon)
       << ", eps=" << epsilon << ")";
 }
 
-Tensor BatchNorm::forward(const Tensor& input, bool training) {
+void BatchNorm::forward_into(const Tensor& input, Tensor& out,
+                             bool training) {
   const Layout l = layout_of(input.shape(), features_);
   cached_input_shape_ = input.shape();
   cached_training_ = training;
 
-  Tensor mean({features_});
-  Tensor var({features_});
+  ensure_shape(mean_, {features_});
+  ensure_shape(var_, {features_});
+  Tensor& mean = mean_;
+  Tensor& var = var_;
   if (training) {
     ZKG_CHECK(l.count() > 1) << " BatchNorm training needs > 1 sample";
     // Every feature's statistics (and running-stat update) are independent.
@@ -87,13 +91,13 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
     var = running_var_;
   }
 
-  cached_inv_std_ = Tensor({features_});
+  ensure_shape(cached_inv_std_, {features_});
   for (std::int64_t f = 0; f < features_; ++f) {
     cached_inv_std_[f] = 1.0f / std::sqrt(var[f] + epsilon_);
   }
 
-  Tensor out(input.shape());
-  cached_normalized_ = Tensor(input.shape());
+  ensure_shape(out, input.shape());
+  ensure_shape(cached_normalized_, input.shape());
   parallel_for(features_, parallel_grain(2 * l.count()),
                [&](std::int64_t f0, std::int64_t f1) {
     for (std::int64_t f = f0; f < f1; ++f) {
@@ -111,16 +115,15 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
       }
     }
   });
-  return out;
 }
 
-Tensor BatchNorm::backward(const Tensor& grad_output) {
+void BatchNorm::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   ZKG_CHECK(grad_output.shape() == cached_input_shape_)
       << " BatchNorm backward shape " << shape_to_string(grad_output.shape());
   const Layout l = layout_of(cached_input_shape_, features_);
   const auto n = static_cast<float>(l.count());
 
-  Tensor grad_input(cached_input_shape_);
+  ensure_shape(grad_input, cached_input_shape_);
   // Per-feature gradients touch disjoint slices of grad_input and of the
   // gamma/beta gradient vectors.
   parallel_for(features_, parallel_grain(3 * l.count()),
@@ -165,7 +168,6 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
       }
     }
   });
-  return grad_input;
 }
 
 std::string BatchNorm::name() const {

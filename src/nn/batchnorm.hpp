@@ -15,8 +15,8 @@ class BatchNorm : public Module {
   explicit BatchNorm(std::int64_t features, float momentum = 0.1f,
                      float epsilon = 1e-5f);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   std::string name() const override;
 
@@ -31,6 +31,10 @@ class BatchNorm : public Module {
   Parameter beta_;   // shift, init 0
   Tensor running_mean_;
   Tensor running_var_;
+
+  // Per-feature temporaries reused across steps (resized in place).
+  Tensor mean_;
+  Tensor var_;
 
   // Caches for backward (training mode only).
   Tensor cached_normalized_;  // x_hat

@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "nn/init.hpp"
 #include "tensor/linalg.hpp"
+#include "tensor/pool.hpp"
 
 namespace zkg::nn {
 namespace {
@@ -27,7 +28,7 @@ void check_config(const Conv2dConfig& cfg) {
 
 }  // namespace
 
-Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
+void im2col_into(Tensor& cols, const Tensor& input, const Conv2dConfig& cfg) {
   check_config(cfg);
   ZKG_CHECK(input.ndim() == 4 && input.dim(1) == cfg.in_channels)
       << " im2col expects [B, " << cfg.in_channels << ", H, W], got "
@@ -41,7 +42,8 @@ Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
   const std::int64_t k = cfg.kernel;
   const std::int64_t patch = c * k * k;
 
-  Tensor cols({b * oh * ow, patch});
+  ensure_shape(cols, {b * oh * ow, patch});
+  ZKG_CHECK(cols.data() != input.data()) << " im2col_into aliased tensors";
   const float* in = input.data();
   float* out = cols.data();
   // Each (bi, oy) output row strip is independent; flattening over b*oh
@@ -69,11 +71,16 @@ Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
       }
     }
   });
+}
+
+Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
+  Tensor cols;
+  im2col_into(cols, input, cfg);
   return cols;
 }
 
-Tensor col2im(const Tensor& cols, const Shape& input_shape,
-              const Conv2dConfig& cfg) {
+void col2im_into(Tensor& image, const Tensor& cols, const Shape& input_shape,
+                 const Conv2dConfig& cfg) {
   check_config(cfg);
   ZKG_CHECK(input_shape.size() == 4) << " col2im wants a rank-4 input shape";
   const std::int64_t b = input_shape[0];
@@ -88,7 +95,9 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape,
             cols.dim(1) == patch)
       << " col2im cols shape " << shape_to_string(cols.shape());
 
-  Tensor image(input_shape);
+  ensure_shape(image, input_shape);
+  ZKG_CHECK(image.data() != cols.data()) << " col2im_into aliased tensors";
+  image.fill(0.0f);  // the scatter below accumulates into the image
   const float* in = cols.data();
   float* out = image.data();
   // Patches overlap, so the scatter accumulates; parallelism stays over the
@@ -117,6 +126,12 @@ Tensor col2im(const Tensor& cols, const Shape& input_shape,
       }
     }
   });
+}
+
+Tensor col2im(const Tensor& cols, const Shape& input_shape,
+              const Conv2dConfig& cfg) {
+  Tensor image;
+  col2im_into(image, cols, input_shape, cfg);
   return image;
 }
 
@@ -134,21 +149,22 @@ std::int64_t Conv2d::out_size(std::int64_t in) const {
   return conv_out_size(in, cfg_);
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+void Conv2d::forward_into(const Tensor& input, Tensor& out,
+                          bool /*training*/) {
   const std::int64_t b = input.dim(0);
   const std::int64_t oh = conv_out_size(input.dim(2), cfg_);
   const std::int64_t ow = conv_out_size(input.dim(3), cfg_);
   cached_input_shape_ = input.shape();
-  cached_cols_ = im2col(input, cfg_);
+  im2col_into(cached_cols_, input, cfg_);
 
   // [B*OH*OW, patch] x [OC, patch]^T -> [B*OH*OW, OC]
-  Tensor flat = matmul_nt(cached_cols_, weight_.value());
-  add_row_bias_(flat, bias_.value());
+  matmul_nt_into(flat_, cached_cols_, weight_.value());
+  add_row_bias_(flat_, bias_.value());
 
   // Reorder [B*OH*OW, OC] -> [B, OC, OH, OW]; batch images are disjoint.
-  Tensor out({b, cfg_.out_channels, oh, ow});
+  ensure_shape(out, {b, cfg_.out_channels, oh, ow});
   const std::int64_t spatial = oh * ow;
-  const float* src = flat.data();
+  const float* src = flat_.data();
   float* dst = out.data();
   parallel_for(b, parallel_grain(spatial * cfg_.out_channels),
                [&](std::int64_t b0, std::int64_t b1) {
@@ -161,10 +177,9 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
       }
     }
   });
-  return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
+void Conv2d::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   ZKG_CHECK(!cached_cols_.empty()) << " Conv2d backward before forward";
   const std::int64_t b = cached_input_shape_[0];
   const std::int64_t oh = conv_out_size(cached_input_shape_[2], cfg_);
@@ -175,9 +190,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 
   // Reorder [B, OC, OH, OW] -> [B*OH*OW, OC]; batch images are disjoint.
   const std::int64_t spatial = oh * ow;
-  Tensor grad_flat({b * spatial, cfg_.out_channels});
+  ensure_shape(grad_flat_, {b * spatial, cfg_.out_channels});
   const float* src = grad_output.data();
-  float* dst = grad_flat.data();
+  float* dst = grad_flat_.data();
   parallel_for(b, parallel_grain(spatial * cfg_.out_channels),
                [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t bi = b0; bi < b1; ++bi) {
@@ -190,11 +205,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
   });
 
-  weight_.accumulate_grad(matmul_tn(grad_flat, cached_cols_));
-  bias_.accumulate_grad(col_sum(grad_flat));
+  matmul_tn_into(grad_w_scratch_, grad_flat_, cached_cols_);
+  weight_.accumulate_grad(grad_w_scratch_);
+  col_sum_into(grad_b_scratch_, grad_flat_);
+  bias_.accumulate_grad(grad_b_scratch_);
 
-  Tensor grad_cols = matmul(grad_flat, weight_.value());
-  return col2im(grad_cols, cached_input_shape_, cfg_);
+  matmul_into(grad_cols_, grad_flat_, weight_.value());
+  col2im_into(grad_input, grad_cols_, cached_input_shape_, cfg_);
 }
 
 std::string Conv2d::name() const {

@@ -16,17 +16,20 @@ struct Conv2dConfig {
 
 /// Lowers `input` [B,C,H,W] into patch-matrix [B*OH*OW, C*K*K].
 Tensor im2col(const Tensor& input, const Conv2dConfig& cfg);
+void im2col_into(Tensor& cols, const Tensor& input, const Conv2dConfig& cfg);
 
 /// Adjoint of im2col: scatters `cols` back into an image-shaped gradient.
 Tensor col2im(const Tensor& cols, const Shape& input_shape,
               const Conv2dConfig& cfg);
+void col2im_into(Tensor& image, const Tensor& cols, const Shape& input_shape,
+                 const Conv2dConfig& cfg);
 
 class Conv2d : public Module {
  public:
   Conv2d(Conv2dConfig cfg, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
 
@@ -42,6 +45,13 @@ class Conv2d : public Module {
   Parameter bias_;    // [OC]
   Tensor cached_cols_;
   Shape cached_input_shape_;
+  // Persistent scratch reused across steps so the im2col/GEMM pipeline runs
+  // allocation-free at steady state.
+  Tensor flat_;
+  Tensor grad_flat_;
+  Tensor grad_cols_;
+  Tensor grad_w_scratch_;
+  Tensor grad_b_scratch_;
 };
 
 }  // namespace zkg::nn

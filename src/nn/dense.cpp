@@ -17,25 +17,26 @@ Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng)
       << " Dense(" << in_features << ", " << out_features << ")";
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+void Dense::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
   ZKG_CHECK(input.ndim() == 2 && input.dim(1) == in_features_)
       << " Dense expects [B, " << in_features_ << "], got "
       << shape_to_string(input.shape());
   cached_input_ = input;
-  Tensor out = matmul_nt(input, weight_.value());  // [B, out]
+  matmul_nt_into(out, input, weight_.value());  // [B, out]
   add_row_bias_(out, bias_.value());
-  return out;
 }
 
-Tensor Dense::backward(const Tensor& grad_output) {
+void Dense::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   ZKG_CHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_)
       << " Dense backward expects [B, " << out_features_ << "], got "
       << shape_to_string(grad_output.shape());
   ZKG_CHECK(!cached_input_.empty()) << " Dense backward before forward";
   // dW = g^T x, db = sum_rows(g), dx = g W.
-  weight_.accumulate_grad(matmul_tn(grad_output, cached_input_));
-  bias_.accumulate_grad(col_sum(grad_output));
-  return matmul(grad_output, weight_.value());
+  matmul_tn_into(grad_w_scratch_, grad_output, cached_input_);
+  weight_.accumulate_grad(grad_w_scratch_);
+  col_sum_into(grad_b_scratch_, grad_output);
+  bias_.accumulate_grad(grad_b_scratch_);
+  matmul_into(grad_input, grad_output, weight_.value());
 }
 
 std::string Dense::name() const {

@@ -10,8 +10,8 @@ class Dense : public Module {
  public:
   Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
 
@@ -26,6 +26,10 @@ class Dense : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  // Persistent scratch for the weight / bias gradients so backward does not
+  // allocate at steady state.
+  Tensor grad_w_scratch_;
+  Tensor grad_b_scratch_;
 };
 
 }  // namespace zkg::nn

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 #include "tensor/random.hpp"
 
 namespace zkg::nn {
@@ -11,18 +12,24 @@ Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
   ZKG_CHECK(rate >= 0.0f && rate < 1.0f) << " Dropout rate " << rate;
 }
 
-Tensor Dropout::forward(const Tensor& input, bool training) {
+void Dropout::forward_into(const Tensor& input, Tensor& out, bool training) {
   if (!training || rate_ == 0.0f) {
-    cached_mask_ = Tensor();
-    return input;
+    mask_active_ = false;
+    out = input;
+    return;
   }
-  cached_mask_ = dropout_mask(input.shape(), rng_, 1.0f - rate_);
-  return mul(input, cached_mask_);
+  ensure_shape(mask_, input.shape());
+  fill_dropout_mask(mask_, rng_, 1.0f - rate_);
+  mask_active_ = true;
+  mul_into(out, input, mask_);
 }
 
-Tensor Dropout::backward(const Tensor& grad_output) {
-  if (cached_mask_.empty()) return grad_output;  // inference pass-through
-  return mul(grad_output, cached_mask_);
+void Dropout::backward_into(const Tensor& grad_output, Tensor& grad_input) {
+  if (!mask_active_) {  // inference pass-through
+    grad_input = grad_output;
+    return;
+  }
+  mul_into(grad_input, grad_output, mask_);
 }
 
 std::string Dropout::name() const {

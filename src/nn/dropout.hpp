@@ -14,8 +14,8 @@ class Dropout : public Module {
   /// mask stream is reproducible and independent of other consumers.
   Dropout(float rate, Rng& rng);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override;
 
   float rate() const { return rate_; }
@@ -23,7 +23,10 @@ class Dropout : public Module {
  private:
   float rate_;
   Rng rng_;
-  Tensor cached_mask_;  // empty when the last forward was inference
+  // The mask buffer persists across steps (refilled in place each training
+  // forward); mask_active_ distinguishes train from inference passes.
+  Tensor mask_;
+  bool mask_active_ = false;
 };
 
 }  // namespace zkg::nn

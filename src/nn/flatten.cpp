@@ -1,18 +1,27 @@
 #include "nn/flatten.hpp"
 
+#include <algorithm>
+
+#include "tensor/pool.hpp"
+
 namespace zkg::nn {
 
-Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+void Flatten::forward_into(const Tensor& input, Tensor& out,
+                           bool /*training*/) {
   ZKG_CHECK(input.ndim() >= 2) << " Flatten expects rank >= 2, got "
                                << shape_to_string(input.shape());
   cached_input_shape_ = input.shape();
   const std::int64_t b = input.dim(0);
-  return input.reshape({b, input.numel() / b});
+  ensure_shape(out, {b, input.numel() / b});
+  std::copy_n(input.data(), input.numel(), out.data());
 }
 
-Tensor Flatten::backward(const Tensor& grad_output) {
+void Flatten::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   ZKG_CHECK(!cached_input_shape_.empty()) << " Flatten backward before forward";
-  return grad_output.reshape(cached_input_shape_);
+  ZKG_CHECK(grad_output.numel() == shape_numel(cached_input_shape_))
+      << " Flatten backward numel " << grad_output.numel();
+  ensure_shape(grad_input, cached_input_shape_);
+  std::copy_n(grad_output.data(), grad_output.numel(), grad_input.data());
 }
 
 }  // namespace zkg::nn

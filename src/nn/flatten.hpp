@@ -7,8 +7,8 @@ namespace zkg::nn {
 
 class Flatten : public Module {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override { return "Flatten"; }
 
  private:

@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 
 namespace zkg::nn {
 
-LossResult softmax_cross_entropy(const Tensor& logits,
-                                 const std::vector<std::int64_t>& labels) {
+float softmax_cross_entropy_into(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels,
+                                 Tensor& grad) {
   ZKG_CHECK(logits.ndim() == 2) << " softmax_cross_entropy wants [B, C], got "
                                 << shape_to_string(logits.shape());
   const std::int64_t batch = logits.dim(0);
@@ -16,35 +18,40 @@ LossResult softmax_cross_entropy(const Tensor& logits,
       << " " << labels.size() << " labels for batch " << batch;
   ZKG_CHECK(batch > 0) << " empty batch";
 
-  LossResult result;
-  result.grad = softmax_rows(logits);
+  softmax_rows_into(grad, logits);
   double total = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch);
   for (std::int64_t i = 0; i < batch; ++i) {
     const std::int64_t label = labels[static_cast<std::size_t>(i)];
     ZKG_CHECK(label >= 0 && label < classes)
         << " label " << label << " out of range [0, " << classes << ")";
-    const float p = result.grad[i * classes + label];
+    const float p = grad[i * classes + label];
     // softmax output is strictly positive, but guard against denormal drift.
     total += -std::log(static_cast<double>(p) + 1e-30);
-    result.grad[i * classes + label] -= 1.0f;
+    grad[i * classes + label] -= 1.0f;
   }
-  mul_(result.grad, inv_batch);
-  result.value = static_cast<float>(total / static_cast<double>(batch));
+  mul_(grad, inv_batch);
+  return static_cast<float>(total / static_cast<double>(batch));
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  LossResult result;
+  result.value = softmax_cross_entropy_into(logits, labels, result.grad);
   return result;
 }
 
-LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
+float bce_with_logits_into(const Tensor& logits, const Tensor& targets,
+                           Tensor& grad) {
   check_same_shape(logits, targets, "bce_with_logits");
   const std::int64_t n = logits.numel();
   ZKG_CHECK(n > 0) << " empty batch";
-  LossResult result;
-  result.grad = Tensor(logits.shape());
+  ensure_shape(grad, logits.shape());
   double total = 0.0;
   const float inv = 1.0f / static_cast<float>(n);
   const float* z = logits.data();
   const float* t = targets.data();
-  float* g = result.grad.data();
+  float* g = grad.data();
   for (std::int64_t i = 0; i < n; ++i) {
     // loss = max(z,0) - z t + log(1 + exp(-|z|)); grad = sigmoid(z) - t.
     const float zi = z[i];
@@ -53,7 +60,12 @@ LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
     const float s = 1.0f / (1.0f + std::exp(-zi));
     g[i] = (s - t[i]) * inv;
   }
-  result.value = static_cast<float>(total / static_cast<double>(n));
+  return static_cast<float>(total / static_cast<double>(n));
+}
+
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  LossResult result;
+  result.value = bce_with_logits_into(logits, targets, result.grad);
   return result;
 }
 
@@ -100,13 +112,13 @@ PairPenaltyResult clean_logit_pairing(const Tensor& logits_a,
   return result;
 }
 
-LossResult clean_logit_squeezing(const Tensor& logits, float lambda) {
+float clean_logit_squeezing_into(const Tensor& logits, float lambda,
+                                 Tensor& grad) {
   ZKG_CHECK(logits.ndim() == 2) << " CLS wants [B, C] logits";
   const std::int64_t batch = logits.dim(0);
   ZKG_CHECK(batch > 0) << " empty batch";
-  LossResult result;
   const std::int64_t cols = logits.dim(1);
-  result.grad = Tensor(logits.shape());
+  ensure_shape(grad, logits.shape());
   double total = 0.0;
   const float inv_batch = lambda / static_cast<float>(batch);
   for (std::int64_t i = 0; i < batch; ++i) {
@@ -118,10 +130,15 @@ LossResult clean_logit_squeezing(const Tensor& logits, float lambda) {
     total += norm2;
     const float scale = 2.0f * inv_batch;
     for (std::int64_t c = 0; c < cols; ++c) {
-      result.grad[i * cols + c] = logits[i * cols + c] * scale;
+      grad[i * cols + c] = logits[i * cols + c] * scale;
     }
   }
-  result.value = lambda * static_cast<float>(total) / static_cast<float>(batch);
+  return lambda * static_cast<float>(total) / static_cast<float>(batch);
+}
+
+LossResult clean_logit_squeezing(const Tensor& logits, float lambda) {
+  LossResult result;
+  result.value = clean_logit_squeezing_into(logits, lambda, result.grad);
   return result;
 }
 

@@ -23,9 +23,17 @@ struct LossResult {
 LossResult softmax_cross_entropy(const Tensor& logits,
                                  const std::vector<std::int64_t>& labels);
 
+/// As above, but writes the gradient into a caller-provided (reusable)
+/// tensor and returns the scalar loss. Bit-identical to the struct form.
+float softmax_cross_entropy_into(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels,
+                                 Tensor& grad);
+
 /// Mean binary cross-entropy on raw logits (numerically stable formulation:
 /// max(z,0) - z*t + log(1 + exp(-|z|))). logits/targets: [B] or [B, 1].
 LossResult bce_with_logits(const Tensor& logits, const Tensor& targets);
+float bce_with_logits_into(const Tensor& logits, const Tensor& targets,
+                           Tensor& grad);
 
 /// Element-wise sigmoid (probability view of a discriminator's raw logits).
 Tensor sigmoid(const Tensor& logits);
@@ -45,5 +53,7 @@ PairPenaltyResult clean_logit_pairing(const Tensor& logits_a,
 
 /// CLS penalty: lambda * mean_i ||z(i)||_2^2.
 LossResult clean_logit_squeezing(const Tensor& logits, float lambda);
+float clean_logit_squeezing_into(const Tensor& logits, float lambda,
+                                 Tensor& grad);
 
 }  // namespace zkg::nn

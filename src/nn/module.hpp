@@ -1,13 +1,20 @@
 // Module: the layer interface.
 //
 // The library uses layer-wise backpropagation rather than a taped autograd:
-// forward() caches whatever the layer needs, backward() consumes the cache,
-// accumulates parameter gradients and returns the gradient w.r.t. the input.
-// Returning the input gradient is load-bearing — white-box attacks (FGSM,
-// BIM, PGD, DeepFool, CW) are driven by it.
+// forward_into() caches whatever the layer needs, backward_into() consumes
+// the cache, accumulates parameter gradients and returns the gradient w.r.t.
+// the input. Returning the input gradient is load-bearing — white-box
+// attacks (FGSM, BIM, PGD, DeepFool, CW) are driven by it.
 //
-// Contract: backward(g) must follow the forward(x) whose activations it
-// differentiates. Sequential enforces this ordering for whole networks.
+// The _into forms are the primary interface: they write into caller-provided
+// destination tensors resized via ensure_shape(), so a layer driven with the
+// same destinations every step runs allocation-free at steady state. The
+// value-returning forward()/backward() wrappers are kept for convenience and
+// produce bit-identical results.
+//
+// Contract: backward_into(g, ...) must follow the forward_into(x, ...) whose
+// activations it differentiates. Sequential enforces this ordering for whole
+// networks. Destinations must not alias the corresponding source tensor.
 #pragma once
 
 #include <memory>
@@ -23,14 +30,28 @@ class Module {
  public:
   virtual ~Module() = default;
 
-  /// Computes the layer output. `training` toggles train-time behaviour
-  /// (dropout masks); inference passes must use training == false.
-  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  /// Computes the layer output into `out`. `training` toggles train-time
+  /// behaviour (dropout masks); inference passes must use training == false.
+  virtual void forward_into(const Tensor& input, Tensor& out,
+                            bool training) = 0;
 
   /// Back-propagates `grad_output` (gradient of the loss w.r.t. this
   /// layer's output), accumulating parameter gradients as a side effect.
-  /// Returns the gradient w.r.t. this layer's input.
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  /// Writes the gradient w.r.t. this layer's input into `grad_input`.
+  virtual void backward_into(const Tensor& grad_output,
+                             Tensor& grad_input) = 0;
+
+  /// Value-returning convenience wrappers; bit-identical to the _into forms.
+  Tensor forward(const Tensor& input, bool training) {
+    Tensor out;
+    forward_into(input, out, training);
+    return out;
+  }
+  Tensor backward(const Tensor& grad_output) {
+    Tensor grad_input;
+    backward_into(grad_output, grad_input);
+    return grad_input;
+  }
 
   /// Trainable parameters owned by this layer (empty for stateless layers).
   virtual std::vector<Parameter*> parameters() { return {}; }

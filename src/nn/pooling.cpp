@@ -3,6 +3,8 @@
 #include <limits>
 #include <sstream>
 
+#include "tensor/pool.hpp"
+
 namespace zkg::nn {
 
 MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
@@ -11,7 +13,8 @@ MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
       << " MaxPool2d(window=" << window_ << ", stride=" << stride_ << ")";
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+void MaxPool2d::forward_into(const Tensor& input, Tensor& out,
+                             bool /*training*/) {
   ZKG_CHECK(input.ndim() == 4) << " MaxPool2d expects [B,C,H,W], got "
                                << shape_to_string(input.shape());
   const std::int64_t b = input.dim(0);
@@ -24,7 +27,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t ow = (w - window_) / stride_ + 1;
 
   cached_input_shape_ = input.shape();
-  Tensor out({b, c, oh, ow});
+  ensure_shape(out, {b, c, oh, ow});
   cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
   const float* in = input.data();
   float* po = out.data();
@@ -54,21 +57,20 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
       }
     }
   }
-  return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+void MaxPool2d::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   ZKG_CHECK(!cached_argmax_.empty()) << " MaxPool2d backward before forward";
   ZKG_CHECK(grad_output.numel() ==
             static_cast<std::int64_t>(cached_argmax_.size()))
       << " MaxPool2d backward shape " << shape_to_string(grad_output.shape());
-  Tensor grad_input(cached_input_shape_);
+  ensure_shape(grad_input, cached_input_shape_);
+  grad_input.fill(0.0f);  // the scatter below accumulates
   float* gi = grad_input.data();
   const float* go = grad_output.data();
   for (std::size_t i = 0; i < cached_argmax_.size(); ++i) {
     gi[cached_argmax_[i]] += go[static_cast<std::int64_t>(i)];
   }
-  return grad_input;
 }
 
 std::string MaxPool2d::name() const {
@@ -77,7 +79,8 @@ std::string MaxPool2d::name() const {
   return out.str();
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+void GlobalAvgPool::forward_into(const Tensor& input, Tensor& out,
+                                 bool /*training*/) {
   ZKG_CHECK(input.ndim() == 4) << " GlobalAvgPool expects [B,C,H,W], got "
                                << shape_to_string(input.shape());
   const std::int64_t b = input.dim(0);
@@ -85,17 +88,17 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t spatial = input.dim(2) * input.dim(3);
   ZKG_CHECK(spatial > 0) << " GlobalAvgPool over empty plane";
   cached_input_shape_ = input.shape();
-  Tensor out({b, c});
+  ensure_shape(out, {b, c});
   const float* in = input.data();
   for (std::int64_t bc = 0; bc < b * c; ++bc) {
     double total = 0.0;
     for (std::int64_t s = 0; s < spatial; ++s) total += in[bc * spatial + s];
     out[bc] = static_cast<float>(total / static_cast<double>(spatial));
   }
-  return out;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+void GlobalAvgPool::backward_into(const Tensor& grad_output,
+                                  Tensor& grad_input) {
   ZKG_CHECK(cached_input_shape_.size() == 4)
       << " GlobalAvgPool backward before forward";
   const std::int64_t b = cached_input_shape_[0];
@@ -104,14 +107,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
   ZKG_CHECK(grad_output.shape() == Shape({b, c}))
       << " GlobalAvgPool backward shape "
       << shape_to_string(grad_output.shape());
-  Tensor grad_input(cached_input_shape_);
+  ensure_shape(grad_input, cached_input_shape_);
   float* gi = grad_input.data();
   const float inv = 1.0f / static_cast<float>(spatial);
   for (std::int64_t bc = 0; bc < b * c; ++bc) {
     const float g = grad_output[bc] * inv;
     for (std::int64_t s = 0; s < spatial; ++s) gi[bc * spatial + s] = g;
   }
-  return grad_input;
 }
 
 }  // namespace zkg::nn

@@ -13,8 +13,8 @@ class MaxPool2d : public Module {
  public:
   explicit MaxPool2d(std::int64_t window, std::int64_t stride = 0);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override;
 
  private:
@@ -27,8 +27,8 @@ class MaxPool2d : public Module {
 /// Global average pooling: [B, C, H, W] -> [B, C]. Used by allCNN.
 class GlobalAvgPool : public Module {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override { return "GlobalAvgPool"; }
 
  private:

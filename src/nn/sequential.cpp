@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "tensor/pool.hpp"
+
 namespace zkg::nn {
 
 Sequential& Sequential::add(ModulePtr layer) {
@@ -10,22 +12,44 @@ Sequential& Sequential::add(ModulePtr layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& input, bool training) {
+void Sequential::forward_into(const Tensor& input, Tensor& out,
+                              bool training) {
   ZKG_CHECK(!layers_.empty()) << " forward through empty Sequential";
-  Tensor value = input;
-  for (const ModulePtr& layer : layers_) {
-    value = layer->forward(value, training);
+  const std::size_t n = layers_.size();
+  if (n == 1) {
+    layers_[0]->forward_into(input, out, training);
+    return;
   }
-  return value;
+  // Ping-pong intermediate activations through two pooled buffers; the
+  // final layer writes straight into the caller's destination.
+  Workspace ws;
+  Tensor* bufs[2] = {&ws.scratch(), &ws.scratch()};
+  const Tensor* cur = &input;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    Tensor* dst = bufs[i % 2];
+    layers_[i]->forward_into(*cur, *dst, training);
+    cur = dst;
+  }
+  layers_[n - 1]->forward_into(*cur, out, training);
 }
 
-Tensor Sequential::backward(const Tensor& grad_output) {
+void Sequential::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   ZKG_CHECK(!layers_.empty()) << " backward through empty Sequential";
-  Tensor grad = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = (*it)->backward(grad);
+  const std::size_t n = layers_.size();
+  if (n == 1) {
+    layers_[0]->backward_into(grad_output, grad_input);
+    return;
   }
-  return grad;
+  Workspace ws;
+  Tensor* bufs[2] = {&ws.scratch(), &ws.scratch()};
+  const Tensor* cur = &grad_output;
+  std::size_t k = 0;
+  for (std::size_t i = n; i-- > 1; ++k) {
+    Tensor* dst = bufs[k % 2];
+    layers_[i]->backward_into(*cur, *dst);
+    cur = dst;
+  }
+  layers_[0]->backward_into(*cur, grad_input);
 }
 
 std::vector<Parameter*> Sequential::parameters() {

@@ -21,8 +21,8 @@ class Sequential : public Module {
     return add(std::make_unique<LayerT>(std::forward<Args>(args)...));
   }
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  void forward_into(const Tensor& input, Tensor& out, bool training) override;
+  void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
 

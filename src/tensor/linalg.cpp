@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "tensor/pool.hpp"
 
 namespace zkg {
 namespace {
@@ -10,6 +11,11 @@ namespace {
 void check_rank2(const Tensor& t, const char* who) {
   ZKG_CHECK(t.ndim() == 2) << " " << who << " wants rank 2, got "
                            << shape_to_string(t.shape());
+}
+
+void check_not_aliased(const Tensor& dst, const Tensor& src, const char* who) {
+  ZKG_CHECK(dst.data() == nullptr || dst.data() != src.data())
+      << " " << who << ": destination aliases an input";
 }
 
 // Tile sizes for the blocked GEMM kernels, in float elements. A kTileK x
@@ -20,7 +26,7 @@ constexpr std::int64_t kTileK = 64;
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
   check_rank2(a, "matmul");
   check_rank2(b, "matmul");
   const std::int64_t m = a.dim(0);
@@ -28,7 +34,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t n = b.dim(1);
   ZKG_CHECK(b.dim(0) == k) << " matmul inner dims: " << shape_to_string(a.shape())
                            << " x " << shape_to_string(b.shape());
-  Tensor c({m, n});
+  check_not_aliased(c, a, "matmul_into");
+  check_not_aliased(c, b, "matmul_into");
+  ensure_shape(c, {m, n});
+  c.fill(0.0f);  // the blocked kernel accumulates into C
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -52,10 +61,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_into(c, a, b);
   return c;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
   check_rank2(a, "matmul_nt");
   check_rank2(b, "matmul_nt");
   const std::int64_t m = a.dim(0);
@@ -64,7 +78,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   ZKG_CHECK(b.dim(1) == k) << " matmul_nt inner dims: "
                            << shape_to_string(a.shape()) << " x "
                            << shape_to_string(b.shape()) << "^T";
-  Tensor c({m, n});
+  check_not_aliased(c, a, "matmul_nt_into");
+  check_not_aliased(c, b, "matmul_nt_into");
+  ensure_shape(c, {m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -98,10 +114,15 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_nt_into(c, a, b);
   return c;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
   check_rank2(a, "matmul_tn");
   check_rank2(b, "matmul_tn");
   const std::int64_t k = a.dim(0);
@@ -110,7 +131,10 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   ZKG_CHECK(b.dim(0) == k) << " matmul_tn inner dims: "
                            << shape_to_string(a.shape()) << "^T x "
                            << shape_to_string(b.shape());
-  Tensor c({m, n});
+  check_not_aliased(c, a, "matmul_tn_into");
+  check_not_aliased(c, b, "matmul_tn_into");
+  ensure_shape(c, {m, n});
+  c.fill(0.0f);  // the rank-1 update kernel accumulates into C
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -133,14 +157,20 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  Tensor c;
+  matmul_tn_into(c, a, b);
   return c;
 }
 
-Tensor transpose2d(const Tensor& a) {
+void transpose2d_into(Tensor& out, const Tensor& a) {
   check_rank2(a, "transpose2d");
+  check_not_aliased(out, a, "transpose2d_into");
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
-  Tensor out({n, m});
+  ensure_shape(out, {n, m});
   const float* pa = a.data();
   float* pout = out.data();
   // 64x64 tiles keep both the row-major reads and column-major writes
@@ -154,26 +184,39 @@ Tensor transpose2d(const Tensor& a) {
       }
     }
   });
+}
+
+Tensor transpose2d(const Tensor& a) {
+  Tensor out;
+  transpose2d_into(out, a);
   return out;
 }
 
-Tensor matvec(const Tensor& a, const Tensor& x) {
+void matvec_into(Tensor& y, const Tensor& a, const Tensor& x) {
   check_rank2(a, "matvec");
   ZKG_CHECK(x.ndim() == 1 && x.dim(0) == a.dim(1))
       << " matvec shapes: " << shape_to_string(a.shape()) << " x "
       << shape_to_string(x.shape());
+  check_not_aliased(y, a, "matvec_into");
+  check_not_aliased(y, x, "matvec_into");
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
-  Tensor y({m});
+  ensure_shape(y, {m});
+  float* py = y.data();
   parallel_for(m, parallel_grain(2 * n), [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       double acc = 0.0;
       for (std::int64_t j = 0; j < n; ++j) {
         acc += static_cast<double>(a[i * n + j]) * x[j];
       }
-      y[i] = static_cast<float>(acc);
+      py[i] = static_cast<float>(acc);
     }
   });
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  Tensor y;
+  matvec_into(y, a, x);
   return y;
 }
 
@@ -193,11 +236,13 @@ void add_row_bias_(Tensor& a, const Tensor& bias) {
   });
 }
 
-Tensor col_sum(const Tensor& a) {
+void col_sum_into(Tensor& out, const Tensor& a) {
   check_rank2(a, "col_sum");
+  check_not_aliased(out, a, "col_sum_into");
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
-  Tensor out({n});
+  ensure_shape(out, {n});
+  out.fill(0.0f);  // accumulates row by row
   const float* pa = a.data();
   float* pout = out.data();
   // Partition over columns: each chunk owns out[j0, j1) so the row-wise
@@ -208,6 +253,11 @@ Tensor col_sum(const Tensor& a) {
       for (std::int64_t j = j0; j < j1; ++j) pout[j] += arow[j];
     }
   });
+}
+
+Tensor col_sum(const Tensor& a) {
+  Tensor out;
+  col_sum_into(out, a);
   return out;
 }
 

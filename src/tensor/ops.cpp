@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/pool.hpp"
+
 namespace zkg {
 namespace {
+
+template <typename F>
+void binary_op_into(Tensor& out, const Tensor& a, const Tensor& b,
+                    const char* name, F f) {
+  check_same_shape(a, b, name);
+  ensure_shape(out, a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+}
 
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
@@ -61,6 +75,16 @@ void mul_(Tensor& a, const Tensor& b) {
   binary_op_(a, b, "mul_", [](float x, float y) { return x * y; });
 }
 
+void add_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_op_into(out, a, b, "add_into", [](float x, float y) { return x + y; });
+}
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_op_into(out, a, b, "sub_into", [](float x, float y) { return x - y; });
+}
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_op_into(out, a, b, "mul_into", [](float x, float y) { return x * y; });
+}
+
 Tensor add(const Tensor& a, float s) {
   return unary_op(a, [s](float x) { return x + s; });
 }
@@ -84,6 +108,19 @@ void axpy_(Tensor& y, float alpha, const Tensor& x) {
   for (std::int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
+void add_scaled_sign_(Tensor& y, float alpha, const Tensor& x) {
+  check_same_shape(y, x, "add_scaled_sign_");
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    // alpha * (+-1.0f) and alpha * 0.0f are exact, so this matches
+    // axpy_(y, alpha, sign(x)) bit for bit.
+    const float s = px[i] > 0.0f ? 1.0f : (px[i] < 0.0f ? -1.0f : 0.0f);
+    py[i] += alpha * s;
+  }
+}
+
 Tensor neg(const Tensor& a) {
   return unary_op(a, [](float x) { return -x; });
 }
@@ -96,6 +133,12 @@ Tensor sign(const Tensor& a) {
     if (x < 0.0f) return -1.0f;
     return 0.0f;
   });
+}
+void sign_(Tensor& a) {
+  float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    pa[i] = pa[i] > 0.0f ? 1.0f : (pa[i] < 0.0f ? -1.0f : 0.0f);
+  }
 }
 Tensor clamp(const Tensor& a, float lo, float hi) {
   ZKG_CHECK(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
@@ -216,12 +259,14 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
   return out;
 }
 
-Tensor softmax_rows(const Tensor& logits) {
+void softmax_rows_into(Tensor& out, const Tensor& logits) {
   ZKG_CHECK(logits.ndim() == 2) << " softmax_rows wants rank 2, got "
                                 << shape_to_string(logits.shape());
+  ZKG_CHECK(out.data() == nullptr || out.data() != logits.data())
+      << " softmax_rows_into: destination aliases the logits";
   const std::int64_t rows = logits.dim(0);
   const std::int64_t cols = logits.dim(1);
-  Tensor out(logits.shape());
+  ensure_shape(out, logits.shape());
   for (std::int64_t r = 0; r < rows; ++r) {
     float row_peak = logits[r * cols];
     for (std::int64_t c = 1; c < cols; ++c) {
@@ -236,6 +281,11 @@ Tensor softmax_rows(const Tensor& logits) {
     const float inv = static_cast<float>(1.0 / denom);
     for (std::int64_t c = 0; c < cols; ++c) out[r * cols + c] *= inv;
   }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out;
+  softmax_rows_into(out, logits);
   return out;
 }
 
@@ -252,7 +302,7 @@ Tensor one_hot(const std::vector<std::int64_t>& labels,
   return out;
 }
 
-Tensor concat_rows(const Tensor& a, const Tensor& b) {
+void concat_rows_into(Tensor& out, const Tensor& a, const Tensor& b) {
   ZKG_CHECK(a.ndim() == b.ndim() && a.ndim() >= 1)
       << " concat_rows rank mismatch: " << shape_to_string(a.shape())
       << " vs " << shape_to_string(b.shape());
@@ -260,11 +310,19 @@ Tensor concat_rows(const Tensor& a, const Tensor& b) {
     ZKG_CHECK(a.dim(i) == b.dim(i)) << " concat_rows inner-shape mismatch on axis "
                                     << i;
   }
+  ZKG_CHECK(out.data() == nullptr ||
+            (out.data() != a.data() && out.data() != b.data()))
+      << " concat_rows_into: destination aliases an input";
   Shape out_shape = a.shape();
   out_shape[0] = a.dim(0) + b.dim(0);
-  Tensor out(std::move(out_shape));
+  ensure_shape(out, out_shape);
   out.assign_rows(0, a);
   out.assign_rows(a.dim(0), b);
+}
+
+Tensor concat_rows(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  concat_rows_into(out, a, b);
   return out;
 }
 

@@ -20,6 +20,13 @@ void add_(Tensor& a, const Tensor& b);
 void sub_(Tensor& a, const Tensor& b);
 void mul_(Tensor& a, const Tensor& b);
 
+// `_into` forms write into a caller-provided destination (resized via
+// ensure_shape; must not alias an input). Reusing the destination across
+// steps keeps the hot path allocation-free.
+void add_into(Tensor& out, const Tensor& a, const Tensor& b);
+void sub_into(Tensor& out, const Tensor& a, const Tensor& b);
+void mul_into(Tensor& out, const Tensor& a, const Tensor& b);
+
 // ---- scalar forms ----
 Tensor add(const Tensor& a, float s);
 Tensor mul(const Tensor& a, float s);
@@ -29,11 +36,17 @@ void mul_(Tensor& a, float s);
 /// y += alpha * x (BLAS axpy); shapes must match.
 void axpy_(Tensor& y, float alpha, const Tensor& x);
 
+/// y += alpha * sign(x): the fused FGSM/BIM/PGD ascent step. Equivalent to
+/// axpy_(y, alpha, sign(x)) — bit-identical, but with no sign(x) temporary.
+void add_scaled_sign_(Tensor& y, float alpha, const Tensor& x);
+
 // ---- element-wise unary ----
 Tensor neg(const Tensor& a);
 Tensor abs(const Tensor& a);
 /// sign(0) == 0.
 Tensor sign(const Tensor& a);
+/// In-place sign: a[i] <- sign(a[i]).
+void sign_(Tensor& a);
 Tensor clamp(const Tensor& a, float lo, float hi);
 void clamp_(Tensor& a, float lo, float hi);
 Tensor exp(const Tensor& a);
@@ -57,6 +70,7 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a);  // -> rows indices
 
 /// Row-wise softmax of a [rows, cols] tensor (numerically stabilised).
 Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(Tensor& out, const Tensor& logits);
 
 /// One-hot encodes labels into a [labels.size(), num_classes] tensor.
 Tensor one_hot(const std::vector<std::int64_t>& labels,
@@ -64,6 +78,7 @@ Tensor one_hot(const std::vector<std::int64_t>& labels,
 
 /// Concatenates along axis 0; inner shapes must match.
 Tensor concat_rows(const Tensor& a, const Tensor& b);
+void concat_rows_into(Tensor& out, const Tensor& a, const Tensor& b);
 
 /// Rows of `a` selected by `indices` (axis 0), in order.
 Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& indices);

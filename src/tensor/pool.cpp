@@ -1,0 +1,110 @@
+#include "tensor/pool.hpp"
+
+#include <utility>
+
+namespace zkg {
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+std::size_t BufferPool::bucket_for(std::size_t numel) {
+  std::size_t bucket = kMinBucket;
+  while (bucket < numel) bucket <<= 1;
+  return bucket;
+}
+
+std::vector<float> BufferPool::acquire(std::size_t numel) {
+  const std::size_t bucket = bucket_for(numel);
+  std::vector<float> buffer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_.find(bucket);
+    if (it != free_.end() && !it->second.empty()) {
+      buffer = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.hits;
+      stats_.bytes_recycled += bucket * sizeof(float);
+      stats_.free_buffers -= 1;
+      stats_.free_bytes -= buffer.capacity() * sizeof(float);
+    } else {
+      ++stats_.misses;
+      stats_.bytes_allocated += bucket * sizeof(float);
+    }
+  }
+  if (buffer.capacity() < bucket) buffer.reserve(bucket);
+  buffer.resize(numel);
+  return buffer;
+}
+
+void BufferPool::release(std::vector<float>&& buffer) {
+  const std::size_t capacity = buffer.capacity();
+  if (capacity < kMinBucket) return;  // not worth tracking
+  // Key by the largest bucket the buffer can fully serve, so acquire(bucket)
+  // never hands out a buffer that would have to realloc.
+  std::size_t bucket = kMinBucket;
+  while (bucket * 2 <= capacity) bucket <<= 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.free_buffers += 1;
+  stats_.free_bytes += capacity * sizeof(float);
+  free_[bucket].push_back(std::move(buffer));
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t free_buffers = stats_.free_buffers;
+  const std::uint64_t free_bytes = stats_.free_bytes;
+  stats_ = PoolStats{};
+  stats_.free_buffers = free_buffers;
+  stats_.free_bytes = free_bytes;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+  stats_.free_buffers = 0;
+  stats_.free_bytes = 0;
+}
+
+void ensure_shape(Tensor& t, const Shape& shape, BufferPool& pool) {
+  if (t.shape() == shape) return;
+  const std::size_t numel = static_cast<std::size_t>(shape_numel(shape));
+  std::vector<float> buffer = std::move(t.storage());
+  if (buffer.capacity() >= numel) {
+    buffer.resize(numel);
+  } else {
+    if (buffer.capacity() > 0) pool.release(std::move(buffer));
+    buffer = pool.acquire(numel);
+  }
+  t = Tensor(shape, std::move(buffer));
+}
+
+Workspace::~Workspace() {
+  for (Tensor& t : tensors_) {
+    if (t.storage().capacity() > 0) pool_.release(std::move(t.storage()));
+  }
+}
+
+Tensor& Workspace::get(const Shape& shape) {
+  tensors_.emplace_back(shape, pool_.acquire(static_cast<std::size_t>(shape_numel(shape))));
+  return tensors_.back();
+}
+
+Tensor& Workspace::zeros(const Shape& shape) {
+  Tensor& t = get(shape);
+  t.fill(0.0f);
+  return t;
+}
+
+Tensor& Workspace::scratch() {
+  tensors_.emplace_back();
+  return tensors_.back();
+}
+
+}  // namespace zkg

@@ -25,15 +25,19 @@ void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
 }
 
 Tensor dropout_mask(Shape shape, Rng& rng, float keep_prob) {
+  Tensor mask(std::move(shape));
+  fill_dropout_mask(mask, rng, keep_prob);
+  return mask;
+}
+
+void fill_dropout_mask(Tensor& mask, Rng& rng, float keep_prob) {
   ZKG_CHECK(keep_prob > 0.0f && keep_prob <= 1.0f)
       << " keep_prob " << keep_prob << " outside (0, 1]";
-  Tensor mask(std::move(shape));
   const float scale = 1.0f / keep_prob;
   float* p = mask.data();
   for (std::int64_t i = 0; i < mask.numel(); ++i) {
     p[i] = rng.bernoulli(keep_prob) ? scale : 0.0f;
   }
-  return mask;
 }
 
 }  // namespace zkg

@@ -18,4 +18,8 @@ void fill_uniform(Tensor& t, Rng& rng, float lo = 0.0f, float hi = 1.0f);
 /// Bernoulli(keep_prob) mask scaled by 1/keep_prob (inverted dropout mask).
 Tensor dropout_mask(Shape shape, Rng& rng, float keep_prob);
 
+/// Refills an existing mask tensor in place (same stream as dropout_mask);
+/// lets Dropout reuse one mask buffer across training steps.
+void fill_dropout_mask(Tensor& mask, Rng& rng, float keep_prob);
+
 }  // namespace zkg

@@ -1,0 +1,308 @@
+// BufferPool / Workspace / ensure_shape tests, plus the steady-state
+// regression: after one warmup iteration, a CLS training step and a PGD
+// attack step must run with zero pool misses, and results computed through
+// dirty recycled buffers must be bit-identical to freshly allocated ones.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attacks/pgd.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/preprocess.hpp"
+#include "defense/cls.hpp"
+#include "models/lenet.hpp"
+#include "nn/loss.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg {
+namespace {
+
+TEST(BufferPool, BucketForRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BufferPool::bucket_for(0), BufferPool::kMinBucket);
+  EXPECT_EQ(BufferPool::bucket_for(1), BufferPool::kMinBucket);
+  EXPECT_EQ(BufferPool::bucket_for(256), 256u);
+  EXPECT_EQ(BufferPool::bucket_for(257), 512u);
+  EXPECT_EQ(BufferPool::bucket_for(512), 512u);
+  EXPECT_EQ(BufferPool::bucket_for(1000), 1024u);
+}
+
+TEST(BufferPool, AcquireMissesThenHitsAfterRelease) {
+  BufferPool pool;
+  std::vector<float> a = pool.acquire(300);
+  EXPECT_EQ(a.size(), 300u);
+  EXPECT_GE(a.capacity(), 512u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+
+  // Any request that fits the same bucket is served from the free list.
+  std::vector<float> b = pool.acquire(400);
+  EXPECT_EQ(b.size(), 400u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+}
+
+TEST(BufferPool, TinyBuffersAreDroppedOnRelease) {
+  BufferPool pool;
+  std::vector<float> tiny(BufferPool::kMinBucket - 1);
+  pool.release(std::move(tiny));
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+}
+
+TEST(BufferPool, TrimEmptiesFreeListAndResetStatsKeepsGauges) {
+  BufferPool pool;
+  pool.release(pool.acquire(1024));
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+  pool.reset_stats();
+  EXPECT_EQ(pool.stats().misses, 0u);
+  EXPECT_EQ(pool.stats().free_buffers, 1u);  // gauge survives the reset
+  pool.trim();
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+  EXPECT_EQ(pool.stats().free_bytes, 0u);
+}
+
+TEST(EnsureShape, NoOpOnMatchingShape) {
+  BufferPool pool;
+  Tensor t({4, 8}, 3.0f);
+  const float* before = t.data();
+  ensure_shape(t, {4, 8}, pool);
+  EXPECT_EQ(t.data(), before);
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 0u);
+  EXPECT_FLOAT_EQ(t[0], 3.0f);  // contents untouched
+}
+
+TEST(EnsureShape, ReusesCapacityInPlaceOnShrink) {
+  BufferPool pool;
+  Tensor t({64, 64});
+  ensure_shape(t, {32, 32}, pool);
+  EXPECT_EQ(t.shape(), Shape({32, 32}));
+  // Shrinking fits in the existing capacity: no pool traffic at all.
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 0u);
+  // Growing back within the original capacity is also pool-free.
+  ensure_shape(t, {64, 64}, pool);
+  EXPECT_EQ(pool.stats().hits + pool.stats().misses, 0u);
+}
+
+TEST(EnsureShape, RoutesRealGrowthThroughPool) {
+  BufferPool pool;
+  Tensor t;
+  ensure_shape(t, {16, 64}, pool);
+  EXPECT_EQ(t.shape(), Shape({16, 64}));
+  EXPECT_EQ(pool.stats().misses, 1u);
+
+  // Growth beyond capacity releases the old buffer and acquires a larger
+  // one, so a same-size follow-up acquire hits.
+  ensure_shape(t, {64, 64}, pool);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  std::vector<float> again = pool.acquire(16 * 64);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.release(std::move(again));
+}
+
+TEST(Workspace, BuffersReturnToPoolAtScopeExit) {
+  BufferPool pool;
+  {
+    Workspace ws(pool);
+    Tensor& a = ws.get({8, 128});
+    Tensor& z = ws.zeros({8, 128});
+    EXPECT_EQ(a.shape(), Shape({8, 128}));
+    for (std::int64_t i = 0; i < z.numel(); ++i) {
+      ASSERT_EQ(z[i], 0.0f);
+    }
+    EXPECT_EQ(ws.size(), 2u);
+    EXPECT_EQ(pool.stats().misses, 2u);
+  }
+  EXPECT_EQ(pool.stats().free_buffers, 2u);
+  {
+    Workspace ws(pool);
+    ws.get({8, 128});
+    ws.get({8, 128});
+    EXPECT_EQ(pool.stats().hits, 2u);  // recycled, no new allocations
+  }
+}
+
+TEST(Workspace, ScratchGrowsThroughPool) {
+  BufferPool pool;
+  {
+    Workspace ws(pool);
+    Tensor& s = ws.scratch();
+    EXPECT_TRUE(s.empty());
+    ensure_shape(s, {4, 256}, pool);
+    EXPECT_EQ(pool.stats().misses, 1u);
+  }
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+}
+
+// _into kernels writing over a dirty recycled destination must produce the
+// same bits as their value-returning forms.
+TEST(IntoKernels, BitIdenticalOverDirtyDestinations) {
+  Rng rng(3);
+  const Tensor a = randn({9, 17}, rng);
+  const Tensor b = randn({17, 11}, rng);
+  const Tensor bt = transpose2d(b);
+
+  Tensor dirty({123}, 42.0f);  // wrong shape, garbage contents
+  matmul_into(dirty, a, b);
+  EXPECT_TRUE(dirty.equals(matmul(a, b)));
+
+  matmul_nt_into(dirty, a, bt);
+  EXPECT_TRUE(dirty.equals(matmul_nt(a, bt)));
+
+  matmul_tn_into(dirty, a, a);
+  EXPECT_TRUE(dirty.equals(matmul_tn(a, a)));
+
+  transpose2d_into(dirty, a);
+  EXPECT_TRUE(dirty.equals(transpose2d(a)));
+
+  col_sum_into(dirty, a);
+  EXPECT_TRUE(dirty.equals(col_sum(a)));
+
+  softmax_rows_into(dirty, a);
+  EXPECT_TRUE(dirty.equals(softmax_rows(a)));
+
+  concat_rows_into(dirty, a, a);
+  EXPECT_TRUE(dirty.equals(concat_rows(a, a)));
+}
+
+TEST(IntoKernels, FusedSignStepMatchesAxpyOfSign) {
+  Rng rng(5);
+  const Tensor grad = randn({3, 50}, rng);
+  Tensor fused = randn({3, 50}, rng);
+  Tensor reference = fused;
+
+  add_scaled_sign_(fused, 0.07f, grad);
+  axpy_(reference, 0.07f, sign(grad));
+  EXPECT_TRUE(fused.equals(reference));
+
+  // Exact zeros in the gradient contribute exactly nothing.
+  Tensor zeros({3, 50});
+  Tensor before = fused;
+  add_scaled_sign_(fused, 0.07f, zeros);
+  EXPECT_TRUE(fused.equals(before));
+}
+
+TEST(IntoKernels, LossIntoMatchesValueForms) {
+  Rng rng(7);
+  const Tensor logits = randn({6, 10}, rng);
+  const std::vector<std::int64_t> labels{0, 3, 9, 2, 5, 1};
+
+  Tensor dirty({77}, -3.0f);
+  const float ce = nn::softmax_cross_entropy_into(logits, labels, dirty);
+  const nn::LossResult ce_ref = nn::softmax_cross_entropy(logits, labels);
+  EXPECT_EQ(ce, ce_ref.value);
+  EXPECT_TRUE(dirty.equals(ce_ref.grad));
+
+  const float cls = nn::clean_logit_squeezing_into(logits, 0.4f, dirty);
+  const nn::LossResult cls_ref = nn::clean_logit_squeezing(logits, 0.4f);
+  EXPECT_EQ(cls, cls_ref.value);
+  EXPECT_TRUE(dirty.equals(cls_ref.grad));
+
+  const Tensor d_logits = randn({6, 1}, rng);
+  const Tensor targets({6, 1}, 1.0f);
+  const float bce = nn::bce_with_logits_into(d_logits, targets, dirty);
+  const nn::LossResult bce_ref = nn::bce_with_logits(d_logits, targets);
+  EXPECT_EQ(bce, bce_ref.value);
+  EXPECT_TRUE(dirty.equals(bce_ref.grad));
+}
+
+TEST(IntoKernels, GaussianAugmentIntoConsumesSameRngStream) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  Rng images_rng(13);
+  const Tensor images = rand_uniform({4, 1, 8, 8}, images_rng, -1.0f, 1.0f);
+
+  const Tensor value_form = data::gaussian_augment(images, rng_a, 0.5f);
+  Tensor dirty({10}, 9.0f);
+  data::gaussian_augment_into(dirty, images, rng_b, 0.5f);
+  EXPECT_TRUE(dirty.equals(value_form));
+  // Both rngs must have advanced identically.
+  EXPECT_EQ(rng_a.uniform(0.0f, 1.0f), rng_b.uniform(0.0f, 1.0f));
+}
+
+models::Classifier small_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return models::build_lenet({1, 28, 28, 10}, models::Preset::kBench, rng);
+}
+
+data::Dataset tiny_train_set(std::int64_t n) {
+  Rng rng(42);
+  return data::scale_pixels(data::make_synth_digits(n, rng));
+}
+
+// The tentpole regression: after a warmup iteration the CLS training loop
+// runs with zero BufferPool misses — every buffer it needs already exists
+// and is either reused in place or recycled through the pool.
+TEST(SteadyState, ClsTrainingStepHasZeroPoolMissesAfterWarmup) {
+  // 128 samples / batch 32: every batch has the same shape.
+  const data::Dataset train = tiny_train_set(128);
+  auto model = small_model(7);
+  defense::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 32;
+  defense::ClsTrainer trainer(model, config);
+
+  trainer.fit(train);  // warmup: shapes stabilise, pool fills
+
+  BufferPool::global().reset_stats();
+  trainer.fit(train);
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);  // the workspace ping-pong recycles every step
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+  EXPECT_GT(stats.bytes_recycled, 0u);
+}
+
+// Same property for a white-box PGD attack step driven through
+// generate_into with a persistent destination buffer.
+TEST(SteadyState, PgdAttackStepHasZeroPoolMissesAfterWarmup) {
+  auto model = small_model(9);
+  Rng data_rng(21);
+  const Tensor images = rand_uniform({16, 1, 28, 28}, data_rng, -1.0f, 1.0f);
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 16; ++i) labels.push_back(i % 10);
+
+  Rng attack_rng(5);
+  attacks::Pgd pgd({.epsilon = 0.3f, .step_size = 0.1f, .iterations = 3,
+                    .restarts = 1},
+                   attack_rng);
+  Tensor adv;
+  pgd.generate_into(model, images, labels, adv);  // warmup
+
+  BufferPool::global().reset_stats();
+  pgd.generate_into(model, images, labels, adv);
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+}
+
+// Recycled (dirty) buffers must never leak state between steps: a model
+// stepped twice on different inputs gives bit-identical logits to a fresh
+// identical model that only ever saw the second input.
+TEST(SteadyState, DirtyBuffersDoNotAffectResults) {
+  auto warmed = small_model(31);
+  auto fresh = small_model(31);
+  Rng data_rng(77);
+  const Tensor first = rand_uniform({8, 1, 28, 28}, data_rng, -1.0f, 1.0f);
+  const Tensor second = rand_uniform({8, 1, 28, 28}, data_rng, -1.0f, 1.0f);
+
+  // Pollute every scratch buffer in `warmed` with first-batch values.
+  Tensor scratch_logits;
+  warmed.forward_into(first, scratch_logits, /*training=*/false);
+
+  Tensor warmed_logits;
+  Tensor fresh_logits;
+  warmed.forward_into(second, warmed_logits, /*training=*/false);
+  fresh.forward_into(second, fresh_logits, /*training=*/false);
+  EXPECT_TRUE(warmed_logits.equals(fresh_logits));
+}
+
+}  // namespace
+}  // namespace zkg
