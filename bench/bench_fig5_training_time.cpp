@@ -8,21 +8,42 @@
 //   CIFAR10:       ZK-GanDef 71.20s, FGSM-Adv 62.85s, PGD-Adv 146.91s,
 //                  PGD-GanDef 257.72s
 // The claim is ordinal: ZK-GanDef =~ FGSM-Adv << PGD-Adv < PGD-GanDef.
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/env.hpp"
 #include "common/table.hpp"
+#include "defense/observer.hpp"
 #include "eval/experiments.hpp"
 
 namespace {
+
+// ZKG_BENCH_JSON=<path> streams one structured record per trained epoch
+// (train_begin / epoch / train_end, see DESIGN.md §9) to <path> while the
+// human-readable tables still go to stdout.
+std::ofstream* bench_json_stream() {
+  static std::ofstream stream;
+  static const bool open = [] {
+    const std::string path = zkg::env_or("ZKG_BENCH_JSON", "");
+    if (path.empty()) return false;
+    stream.open(path, std::ios::trunc);
+    return stream.is_open();
+  }();
+  return open ? &stream : nullptr;
+}
 
 void run_panel(zkg::data::DatasetId id, const char* label) {
   using namespace zkg;
   const std::uint64_t seed =
       static_cast<std::uint64_t>(env_or_int("ZKG_SEED", 20190417));
   std::cout << "--- " << label << " (" << data::dataset_name(id) << ") ---\n";
+  std::unique_ptr<defense::JsonlTrainObserver> recorder;
+  if (std::ofstream* json = bench_json_stream()) {
+    recorder = std::make_unique<defense::JsonlTrainObserver>(*json);
+  }
   const std::vector<eval::TrainingTimeRow> rows =
-      eval::run_training_time(id, seed, /*epochs=*/2);
+      eval::run_training_time(id, seed, /*epochs=*/2, recorder.get());
 
   double zk_seconds = 0.0;
   for (const eval::TrainingTimeRow& row : rows) {

@@ -17,6 +17,8 @@
 #include "data/preprocess.hpp"
 #include "defense/cls.hpp"
 #include "models/lenet.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "tensor/pool.hpp"
 #include "tensor/random.hpp"
 
@@ -134,5 +136,15 @@ int main() {
                                 (1024.0 * 1024.0),
                             2)
             << " MB retained\n";
+
+  // With ZKG_TRACE set, summarise the per-phase spans and counters collected
+  // above; the raw JSONL also flushes to the trace path at exit.
+  if (obs::enabled()) {
+    obs::Telemetry& telemetry = obs::Telemetry::global();
+    std::cout << "\n=== Telemetry (ZKG_TRACE=" << telemetry.trace_path()
+              << ") ===\n\n";
+    std::cout << obs::span_table(telemetry).to_text() << "\n";
+    std::cout << obs::metric_table(telemetry).to_text() << "\n";
+  }
   return 0;
 }

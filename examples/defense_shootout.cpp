@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "data/preprocess.hpp"
+#include "defense/observer.hpp"
 #include "defense/registry.hpp"
 #include "eval/evaluator.hpp"
 #include "models/lenet.hpp"
@@ -35,6 +36,10 @@ int main() {
     config.lambda = 0.1f;  // scale-adjusted CLP/CLS weight (EXPERIMENTS.md)
     config.gamma = 0.05f;
     defense::TrainerPtr trainer = defense::make_trainer(id, model, config);
+    // The telemetry bridge feeds train.* counters/gauges into the obs
+    // registry; visible in the exported trace when ZKG_TRACE is set.
+    defense::TelemetryObserver telemetry;
+    trainer->add_observer(&telemetry);
     std::cout << "training " << trainer->name() << "...\n";
     const defense::TrainResult train = trainer->fit(split.train);
 

@@ -10,6 +10,7 @@
 #include "attacks/fgsm.hpp"
 #include "common/rng.hpp"
 #include "data/preprocess.hpp"
+#include "defense/observer.hpp"
 #include "defense/vanilla.hpp"
 #include "defense/zk_gandef.hpp"
 #include "eval/evaluator.hpp"
@@ -36,8 +37,12 @@ int main() {
   config.epochs = 18;
   config.batch_size = 64;
   config.gamma = 0.05f;
-  config.verbose = true;
   defense::ZkGanDefTrainer trainer(model, config);
+
+  // Observers replace the old `config.verbose` flag: attach as many as you
+  // like (console progress, telemetry bridge, JSONL recorder, your own).
+  defense::ConsoleProgressObserver progress;
+  trainer.add_observer(&progress);
   const defense::TrainResult result = trainer.fit(split.train);
   std::cout << "trained " << result.epochs.size() << " epochs in "
             << result.total_seconds << "s (mean "
@@ -50,9 +55,7 @@ int main() {
   models::Classifier vanilla =
       models::build_lenet(models::InputSpec{1, 28, 28, 10},
                           models::Preset::kBench, baseline_rng);
-  defense::TrainConfig vanilla_config = config;
-  vanilla_config.verbose = false;
-  defense::VanillaTrainer(vanilla, vanilla_config).fit(split.train);
+  defense::VanillaTrainer(vanilla, config).fit(split.train);
 
   // 5. Attack + evaluate: white-box FGSM (eps = 0.3 on the [-1, 1] scale,
   //    the bench-preset budget; the paper uses 0.6 at full training scale).

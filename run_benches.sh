@@ -1,6 +1,14 @@
 #!/bin/sh
 # Regenerates every paper table/figure: one binary per experiment.
 #
+# Usage:
+#   ./run_benches.sh                 # plain run, human-readable output only
+#   ./run_benches.sh --trace <dir>   # additionally write one telemetry
+#                                    # trace (<dir>/<bench>.jsonl) per bench,
+#                                    # plus <dir>/<bench>.train.jsonl with
+#                                    # per-epoch records where the bench
+#                                    # trains models (DESIGN.md §9)
+#
 # Kernel parallelism: every binary runs on the zkg::parallel_for backend
 # chosen at configure time (OpenMP or the in-tree thread pool; the cmake
 # configure step prints "zkg: parallel backend = ..."). ZKG_THREADS=<n>
@@ -12,11 +20,31 @@
 #   cmake -B build-tsan -S . -DZKG_SANITIZE=thread -DZKG_USE_OPENMP=OFF
 #   cmake --build build-tsan -j
 #   ctest --test-dir build-tsan -R test_threadpool --output-on-failure
+TRACE_DIR=""
+if [ "$1" = "--trace" ]; then
+  if [ -z "$2" ]; then
+    echo "usage: $0 [--trace <dir>]" >&2
+    exit 2
+  fi
+  TRACE_DIR="$2"
+  mkdir -p "$TRACE_DIR"
+fi
+
 for b in build/bench/*; do
   if [ -x "$b" ] && [ -f "$b" ]; then
     echo "### $b"
-    "$b"
+    if [ -n "$TRACE_DIR" ]; then
+      name=$(basename "$b")
+      ZKG_TRACE="$TRACE_DIR/$name.jsonl" \
+        ZKG_BENCH_JSON="$TRACE_DIR/$name.train.jsonl" \
+        "$b"
+    else
+      "$b"
+    fi
     echo ""
   fi
 done
+if [ -n "$TRACE_DIR" ]; then
+  echo "telemetry traces written to $TRACE_DIR/"
+fi
 echo "ALL BENCHES COMPLETE"

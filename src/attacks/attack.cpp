@@ -5,6 +5,7 @@
 
 #include "data/preprocess.hpp"
 #include "nn/loss.hpp"
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 
 namespace zkg::attacks {
@@ -22,6 +23,7 @@ Tensor input_gradient(models::Classifier& model, const Tensor& images,
 float input_gradient_into(models::Classifier& model, const Tensor& images,
                           const std::vector<std::int64_t>& labels,
                           GradientScratch& scratch, Tensor& grad) {
+  ZKG_COUNT("attack.grad_queries", 1);
   model.zero_grad();
   model.forward_into(images, scratch.logits, /*training=*/false);
   const float loss =

@@ -1,5 +1,6 @@
 #include "attacks/bim.hpp"
 
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 
 namespace zkg::attacks {
@@ -23,6 +24,8 @@ void Bim::generate_into(models::Classifier& model, const Tensor& images,
                         const std::vector<std::int64_t>& labels, Tensor& adv) {
   adv = images;
   for (std::int64_t it = 0; it < budget_.iterations; ++it) {
+    ZKG_SPAN("attack.bim_iter");
+    ZKG_COUNT("attack.steps", 1);
     input_gradient_into(model, adv, labels, scratch_, grad_);
     add_scaled_sign_(adv, budget_.step_size, grad_);
     project_linf_(adv, images, budget_.epsilon);

@@ -1,5 +1,6 @@
 #include "attacks/pgd.hpp"
 
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/pool.hpp"
 #include "tensor/random.hpp"
@@ -26,6 +27,8 @@ void Pgd::run_once(models::Classifier& model, const Tensor& images,
   }
   project_linf_(adv, images, budget_.epsilon);
   for (std::int64_t it = 0; it < budget_.iterations; ++it) {
+    ZKG_SPAN("attack.pgd_iter");
+    ZKG_COUNT("attack.steps", 1);
     input_gradient_into(model, adv, labels, scratch_, grad_);
     add_scaled_sign_(adv, budget_.step_size, grad_);
     project_linf_(adv, images, budget_.epsilon);

@@ -28,6 +28,14 @@ class SerializationError : public Error {
   explicit SerializationError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a configuration struct fails validation (e.g.
+/// defense::TrainConfig::validate()). Derives from InvalidArgument so
+/// call sites that caught the old precondition failures keep working.
+class ConfigError : public InvalidArgument {
+ public:
+  explicit ConfigError(const std::string& what) : InvalidArgument(what) {}
+};
+
 namespace detail {
 
 // Stream-collects the variadic message parts of a failed ZKG_CHECK.

@@ -7,6 +7,7 @@
 
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
+#include "obs/telemetry.hpp"
 
 #ifdef ZKG_PARALLEL_OPENMP
 #include <omp.h>
@@ -56,6 +57,20 @@ void parallel_for(std::int64_t count,
 void parallel_for(std::int64_t count, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (count <= 0) return;
+  if (obs::enabled()) {
+    // One-time: publish the worker count at export time, not per call.
+    static const bool gauge_registered = [] {
+      obs::Telemetry::global().add_gauge_provider([](obs::Telemetry& t) {
+        t.gauge("parallel.threads")
+            .set(static_cast<double>(parallel_threads()));
+      });
+      return true;
+    }();
+    (void)gauge_registered;
+    ZKG_COUNT("parallel.calls", 1);
+    ZKG_COUNT("parallel.items", count);
+    if (SerialScope::active()) ZKG_COUNT("parallel.serial_calls", 1);
+  }
   if (SerialScope::active()) {
     body(0, count);
     return;

@@ -3,6 +3,7 @@
 #include "attacks/fgsm.hpp"
 #include "attacks/pgd.hpp"
 #include "nn/loss.hpp"
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 
 namespace zkg::defense {
@@ -18,18 +19,28 @@ AdversarialTrainer::AdversarialTrainer(models::Classifier& model,
 }
 
 Trainer::BatchStats AdversarialTrainer::train_batch(const data::Batch& batch) {
-  attack_->generate_into(model_, batch.images, batch.labels, adversarial_);
+  {
+    ZKG_SPAN("train.attack_gen");
+    attack_->generate_into(model_, batch.images, batch.labels, adversarial_);
+  }
 
   concat_rows_into(combined_, batch.images, adversarial_);
   std::vector<std::int64_t> labels = batch.labels;
   labels.insert(labels.end(), batch.labels.begin(), batch.labels.end());
 
-  model_.zero_grad();
-  model_.forward_into(combined_, logits_, /*training=*/true);
-  const float loss = nn::softmax_cross_entropy_into(logits_, labels, grad_);
-  model_.backward_into(grad_, grad_input_);
-  optimizer_->step();
-  model_.zero_grad();
+  float loss;
+  {
+    ZKG_SPAN("train.forward_backward");
+    model_.zero_grad();
+    model_.forward_into(combined_, logits_, /*training=*/true);
+    loss = nn::softmax_cross_entropy_into(logits_, labels, grad_);
+    model_.backward_into(grad_, grad_input_);
+  }
+  {
+    ZKG_SPAN("train.optimizer");
+    optimizer_->step();
+    model_.zero_grad();
+  }
   return {loss, 0.0f};
 }
 

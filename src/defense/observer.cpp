@@ -1,0 +1,79 @@
+#include "defense/observer.hpp"
+
+#include <ostream>
+
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+
+namespace zkg::defense {
+
+void ConsoleProgressObserver::on_epoch_end(const Trainer& trainer,
+                                           const EpochStats& stats) {
+  log::info() << trainer.name() << " epoch " << stats.epoch << ": loss "
+              << stats.classifier_loss << " (" << stats.seconds << "s)";
+}
+
+TelemetryObserver::TelemetryObserver(obs::Telemetry& telemetry)
+    : telemetry_(telemetry),
+      runs_(telemetry.counter("train.runs")),
+      epochs_(telemetry.counter("train.epochs")),
+      batches_(telemetry.counter("train.batches")) {}
+
+void TelemetryObserver::on_train_begin(const Trainer& trainer) {
+  (void)trainer;
+  runs_.add();
+}
+
+void TelemetryObserver::on_batch_end(const Trainer& trainer,
+                                     std::int64_t epoch, std::int64_t batch,
+                                     const BatchStats& stats) {
+  (void)trainer; (void)epoch; (void)batch; (void)stats;
+  batches_.add();
+}
+
+void TelemetryObserver::on_epoch_end(const Trainer& trainer,
+                                     const EpochStats& stats) {
+  (void)trainer;
+  epochs_.add();
+  telemetry_.gauge("train.classifier_loss").set(stats.classifier_loss);
+  telemetry_.gauge("train.discriminator_loss")
+      .set(stats.discriminator_loss);
+  telemetry_.gauge("train.epoch_seconds").set(stats.seconds);
+}
+
+void JsonlTrainObserver::on_train_begin(const Trainer& trainer) {
+  obs::JsonObject record;
+  record["type"] = "train_begin";
+  record["defense"] = trainer.name();
+  record["epochs"] = trainer.config().epochs;
+  record["batch_size"] = trainer.config().batch_size;
+  out_ << obs::Json(std::move(record)).dump() << "\n";
+}
+
+void JsonlTrainObserver::on_epoch_end(const Trainer& trainer,
+                                      const EpochStats& stats) {
+  obs::JsonObject record;
+  record["type"] = "epoch";
+  record["defense"] = trainer.name();
+  record["epoch"] = stats.epoch;
+  record["loss"] = static_cast<double>(stats.classifier_loss);
+  record["disc_loss"] = static_cast<double>(stats.discriminator_loss);
+  record["seconds"] = stats.seconds;
+  record["batches"] = stats.batches;
+  out_ << obs::Json(std::move(record)).dump() << "\n";
+}
+
+void JsonlTrainObserver::on_train_end(const Trainer& trainer,
+                                      const TrainResult& result) {
+  obs::JsonObject record;
+  record["type"] = "train_end";
+  record["defense"] = trainer.name();
+  record["epochs"] = static_cast<std::int64_t>(result.epochs.size());
+  record["total_seconds"] = result.total_seconds;
+  record["mean_epoch_seconds"] = result.mean_epoch_seconds();
+  record["final_loss"] = static_cast<double>(result.final_loss());
+  record["converged"] = result.converged();
+  out_ << obs::Json(std::move(record)).dump() << "\n";
+}
+
+}  // namespace zkg::defense

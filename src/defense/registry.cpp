@@ -55,7 +55,8 @@ bool is_full_knowledge(DefenseId id) {
 }
 
 TrainerPtr make_trainer(DefenseId id, models::Classifier& model,
-                        TrainConfig config) {
+                        const TrainConfig& config) {
+  config.validate();  // fail fast, before any model/optimizer state exists
   switch (id) {
     case DefenseId::kVanilla:
       return std::make_unique<VanillaTrainer>(model, config);

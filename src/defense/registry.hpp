@@ -33,8 +33,9 @@ std::string defense_name(DefenseId id);
 /// True for the defenses that consume adversarial examples during training.
 bool is_full_knowledge(DefenseId id);
 
-/// Constructs the trainer for `id` bound to `model`.
+/// Constructs the trainer for `id` bound to `model`. Validates `config`
+/// first (throws zkg::ConfigError on the first invalid field).
 TrainerPtr make_trainer(DefenseId id, models::Classifier& model,
-                        TrainConfig config);
+                        const TrainConfig& config);
 
 }  // namespace zkg::defense

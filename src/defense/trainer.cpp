@@ -1,11 +1,59 @@
 #include "defense/trainer.hpp"
 
 #include <cmath>
+#include <sstream>
 
-#include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "defense/observer.hpp"
+#include "obs/telemetry.hpp"
 
 namespace zkg::defense {
+namespace {
+
+[[noreturn]] void config_fail(const char* field, const std::string& detail) {
+  std::ostringstream message;
+  message << "TrainConfig: invalid " << field << " (" << detail << ")";
+  throw ConfigError(message.str());
+}
+
+template <typename T>
+std::string describe(const char* constraint, T value) {
+  std::ostringstream out;
+  out << "must be " << constraint << ", got " << value;
+  return out.str();
+}
+
+}  // namespace
+
+void TrainConfig::validate() const {
+  if (epochs < 1) config_fail("epochs", describe(">= 1", epochs));
+  if (batch_size < 1) config_fail("batch_size", describe(">= 1", batch_size));
+  if (!(learning_rate > 0.0f) || !std::isfinite(learning_rate)) {
+    config_fail("learning_rate", describe("> 0 and finite", learning_rate));
+  }
+  if (!(sigma >= 0.0f)) config_fail("sigma", describe(">= 0", sigma));
+  if (!(lambda >= 0.0f)) config_fail("lambda", describe(">= 0", lambda));
+  if (!(gamma >= 0.0f && gamma <= 1.0f)) {
+    config_fail("gamma", describe("in [0, 1]", gamma));
+  }
+  if (disc_steps < 1) config_fail("disc_steps", describe(">= 1", disc_steps));
+  if (!(disc_learning_rate > 0.0f) || !std::isfinite(disc_learning_rate)) {
+    config_fail("disc_learning_rate",
+                describe("> 0 and finite", disc_learning_rate));
+  }
+  if (!(attack.epsilon >= 0.0f)) {
+    config_fail("attack.epsilon", describe(">= 0", attack.epsilon));
+  }
+  if (!(attack.step_size > 0.0f)) {
+    config_fail("attack.step_size", describe("> 0", attack.step_size));
+  }
+  if (attack.iterations < 1) {
+    config_fail("attack.iterations", describe(">= 1", attack.iterations));
+  }
+  if (attack.restarts < 1) {
+    config_fail("attack.restarts", describe(">= 1", attack.restarts));
+  }
+}
 
 double TrainResult::mean_epoch_seconds() const {
   if (epochs.empty()) return 0.0;
@@ -28,25 +76,53 @@ bool TrainResult::converged() const {
 
 Trainer::Trainer(models::Classifier& model, TrainConfig config)
     : model_(model), config_(config), rng_(config.seed) {
-  ZKG_CHECK(config_.epochs > 0 && config_.batch_size > 0)
-      << " TrainConfig(epochs=" << config_.epochs
-      << ", batch_size=" << config_.batch_size << ")";
+  config_.validate();
   optimizer_ = std::make_unique<optim::Adam>(
       model_.parameters(), optim::AdamConfig{.learning_rate =
                                                  config_.learning_rate});
+  if (config_.verbose) {
+    // Deprecated shim: config.verbose used to drive inline printing; it now
+    // installs the console observer so old call sites keep their output.
+    verbose_shim_ = std::make_unique<ConsoleProgressObserver>();
+    observers_.push_back(verbose_shim_.get());
+  }
+}
+
+void Trainer::add_observer(TrainObserver* observer) {
+  ZKG_CHECK(observer != nullptr) << " Trainer::add_observer(nullptr)";
+  observers_.push_back(observer);
+}
+
+void Trainer::clear_observers() {
+  observers_.clear();
+  verbose_shim_.reset();
 }
 
 EpochStats Trainer::fit_epoch(data::Batcher& batcher,
                               std::int64_t epoch_index) {
+  ZKG_SPAN("train.epoch");
   Stopwatch watch;
   batcher.start_epoch();
   double loss_sum = 0.0;
   double disc_sum = 0.0;
   std::int64_t batches = 0;
-  while (auto batch = batcher.next()) {
-    const BatchStats stats = train_batch(*batch);
+  while (true) {
+    std::optional<data::Batch> batch;
+    {
+      ZKG_SPAN("train.batch_fetch");
+      batch = batcher.next();
+    }
+    if (!batch) break;
+    BatchStats stats;
+    {
+      ZKG_SPAN("train.batch");
+      stats = train_batch(*batch);
+    }
     loss_sum += stats.classifier_loss;
     disc_sum += stats.discriminator_loss;
+    for (TrainObserver* observer : observers_) {
+      observer->on_batch_end(*this, epoch_index, batches, stats);
+    }
     ++batches;
   }
   EpochStats stats;
@@ -56,23 +132,28 @@ EpochStats Trainer::fit_epoch(data::Batcher& batcher,
   stats.discriminator_loss =
       batches > 0 ? static_cast<float>(disc_sum / batches) : 0.0f;
   stats.seconds = watch.seconds();
+  stats.batches = batches;
+  for (TrainObserver* observer : observers_) {
+    observer->on_epoch_end(*this, stats);
+  }
   return stats;
 }
 
 TrainResult Trainer::fit(const data::Dataset& train) {
+  ZKG_SPAN("train.fit");
   data::Batcher batcher(train, config_.batch_size, rng_);
+  for (TrainObserver* observer : observers_) {
+    observer->on_train_begin(*this);
+  }
   TrainResult result;
   Stopwatch watch;
   for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    const EpochStats stats = fit_epoch(batcher, epoch);
-    if (config_.verbose) {
-      log::info() << name() << " epoch " << epoch << ": loss "
-                  << stats.classifier_loss << " ("
-                  << stats.seconds << "s)";
-    }
-    result.epochs.push_back(stats);
+    result.epochs.push_back(fit_epoch(batcher, epoch));
   }
   result.total_seconds = watch.seconds();
+  for (TrainObserver* observer : observers_) {
+    observer->on_train_end(*this, result);
+  }
   return result;
 }
 

@@ -1,8 +1,9 @@
 // Trainer: the defense interface. Each defense from the paper's evaluation
 // (Vanilla, CLP, CLS, ZK-GanDef, FGSM-Adv, PGD-Adv, PGD-GanDef) is a Trainer
 // subclass that decides how a mini-batch turns into gradients; the base
-// class owns the epoch loop, the Adam optimizer and the timing bookkeeping
-// that feeds the Figure 5 experiments.
+// class owns the epoch loop, the Adam optimizer, the timing bookkeeping
+// that feeds the Figure 5 experiments, and the TrainObserver fan-out that
+// replaced ad-hoc verbose printing.
 #pragma once
 
 #include <memory>
@@ -17,6 +18,8 @@
 #include "optim/adam.hpp"
 
 namespace zkg::defense {
+
+class Trainer;
 
 struct TrainConfig {
   std::int64_t epochs = 10;
@@ -36,7 +39,24 @@ struct TrainConfig {
   attacks::AttackBudget attack;
 
   std::uint64_t seed = 1;
+
+  /// Deprecated: installs a ConsoleProgressObserver on the trainer so old
+  /// call sites keep their per-epoch log lines. New code should attach a
+  /// TrainObserver via Trainer::add_observer() instead.
   bool verbose = false;
+
+  /// Throws zkg::ConfigError naming the first invalid field: epochs and
+  /// batch_size >= 1, learning rates > 0 and finite, sigma >= 0,
+  /// lambda >= 0, gamma in [0, 1], disc_steps >= 1, and a sane attack
+  /// budget. Invoked by make_trainer and every Trainer constructor, so a
+  /// bad config fails fast instead of producing NaNs mid-run.
+  void validate() const;
+};
+
+/// Losses of one training step, reported to TrainObserver::on_batch_end.
+struct BatchStats {
+  float classifier_loss = 0.0f;
+  float discriminator_loss = 0.0f;
 };
 
 struct EpochStats {
@@ -44,6 +64,7 @@ struct EpochStats {
   float classifier_loss = 0.0f;    // mean over batches
   float discriminator_loss = 0.0f; // GanDef trainers only
   double seconds = 0.0;
+  std::int64_t batches = 0;
 };
 
 struct TrainResult {
@@ -55,6 +76,37 @@ struct TrainResult {
   /// True when the final loss is finite and decreased vs. the first epoch —
   /// the signal the paper's §V-D convergence study looks at.
   bool converged() const;
+};
+
+/// Observer of a training run. All progress reporting — console logging,
+/// telemetry counters, structured JSONL records — flows through this
+/// interface; the Trainer itself never prints. Default implementations are
+/// no-ops, so observers override only the events they care about.
+/// Callbacks run synchronously on the training thread, in registration
+/// order.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+
+  /// Before the first batch of fit().
+  virtual void on_train_begin(const Trainer& trainer) { (void)trainer; }
+
+  /// After every train_batch call. `batch` counts from 0 within the epoch.
+  virtual void on_batch_end(const Trainer& trainer, std::int64_t epoch,
+                            std::int64_t batch, const BatchStats& stats) {
+    (void)trainer; (void)epoch; (void)batch; (void)stats;
+  }
+
+  /// After each epoch, with that epoch's aggregated stats.
+  virtual void on_epoch_end(const Trainer& trainer, const EpochStats& stats) {
+    (void)trainer; (void)stats;
+  }
+
+  /// After the last epoch of fit(), with the complete result.
+  virtual void on_train_end(const Trainer& trainer,
+                            const TrainResult& result) {
+    (void)trainer; (void)result;
+  }
 };
 
 class Trainer {
@@ -70,17 +122,24 @@ class Trainer {
   /// Runs config.epochs epochs over `train` (pixels already in [-1, 1]).
   TrainResult fit(const data::Dataset& train);
 
-  /// Runs exactly one epoch; exposed for convergence studies.
+  /// Runs exactly one epoch; exposed for convergence studies. Fires
+  /// on_batch_end/on_epoch_end but not the train begin/end events.
   EpochStats fit_epoch(data::Batcher& batcher, std::int64_t epoch_index);
+
+  /// Registers a non-owning observer; it must outlive the trainer. The
+  /// config.verbose shim installs an owned ConsoleProgressObserver first,
+  /// so explicit observers fire after it.
+  void add_observer(TrainObserver* observer);
+  /// Removes every observer, including the verbose shim.
+  void clear_observers();
 
   models::Classifier& model() { return model_; }
   const TrainConfig& config() const { return config_; }
 
  protected:
-  struct BatchStats {
-    float classifier_loss = 0.0f;
-    float discriminator_loss = 0.0f;
-  };
+  /// Compatibility alias: subclasses predating the observer API spell the
+  /// return type Trainer::BatchStats.
+  using BatchStats = defense::BatchStats;
 
   /// Consumes one mini-batch: computes losses, updates weights.
   virtual BatchStats train_batch(const data::Batch& batch) = 0;
@@ -89,6 +148,10 @@ class Trainer {
   TrainConfig config_;
   Rng rng_;
   std::unique_ptr<optim::Adam> optimizer_;
+
+ private:
+  std::vector<TrainObserver*> observers_;
+  std::unique_ptr<TrainObserver> verbose_shim_;  // owned console observer
 };
 
 using TrainerPtr = std::unique_ptr<Trainer>;

@@ -4,6 +4,7 @@
 
 #include "data/preprocess.hpp"
 #include "nn/loss.hpp"
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/pool.hpp"
 
@@ -13,8 +14,8 @@ GanDefTrainerBase::GanDefTrainerBase(models::Classifier& model,
                                      TrainConfig config)
     : Trainer(model, config),
       discriminator_(model.spec().num_classes, rng_) {
-  ZKG_CHECK(config_.gamma >= 0.0f) << " gamma " << config_.gamma;
-  ZKG_CHECK(config_.disc_steps >= 1) << " disc_steps " << config_.disc_steps;
+  // gamma / disc_steps ranges are enforced by TrainConfig::validate(),
+  // which the Trainer base constructor runs before we get here.
   disc_optimizer_ = std::make_unique<optim::Adam>(
       discriminator_.parameters(),
       optim::AdamConfig{.learning_rate = config_.disc_learning_rate});
@@ -73,7 +74,10 @@ Trainer::BatchStats GanDefTrainerBase::train_batch(const data::Batch& batch) {
   // Evenly sampled clean and perturbed halves (Algorithm 1 lines 4/9). The
   // whole batch contributes in both roles: clean copies first, perturbed
   // copies second.
-  make_perturbed_into(batch.images, batch.labels, perturbed_);
+  {
+    ZKG_SPAN("train.attack_gen");
+    make_perturbed_into(batch.images, batch.labels, perturbed_);
+  }
   concat_rows_into(combined_, batch.images, perturbed_);
   combined_labels_.assign(batch.labels.begin(), batch.labels.end());
   combined_labels_.insert(combined_labels_.end(), batch.labels.begin(),
@@ -89,13 +93,17 @@ Trainer::BatchStats GanDefTrainerBase::train_batch(const data::Batch& batch) {
 
   // Discriminator iterations (classifier frozen: forward only, no update).
   float disc_loss = 0.0f;
-  for (std::int64_t step = 0; step < config_.disc_steps; ++step) {
-    model_.forward_into(combined_, logits_, /*training=*/true);
-    disc_loss = update_discriminator(logits_, source_flags_);
+  {
+    ZKG_SPAN("train.disc_step");
+    for (std::int64_t step = 0; step < config_.disc_steps; ++step) {
+      model_.forward_into(combined_, logits_, /*training=*/true);
+      disc_loss = update_discriminator(logits_, source_flags_);
+    }
+    model_.zero_grad();
   }
-  model_.zero_grad();
 
   // One classifier update (discriminator frozen).
+  ZKG_SPAN("train.classifier_step");
   const float ce = update_classifier(combined_, combined_labels_,
                                      source_flags_);
   return {ce, disc_loss};

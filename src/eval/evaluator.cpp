@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace zkg::eval {
 
@@ -24,6 +25,8 @@ double Evaluator::clean_accuracy(models::Classifier& model,
   std::vector<std::int64_t> predictions;
   predictions.reserve(static_cast<std::size_t>(test.size()));
   for (std::int64_t begin = 0; begin < test.size(); begin += batch_size_) {
+    ZKG_SPAN("eval.batch");
+    ZKG_COUNT("eval.batches", 1);
     const std::int64_t end = std::min(begin + batch_size_, test.size());
     const std::vector<std::int64_t> batch_pred =
         model.predict(test.images.slice_rows(begin, end));
@@ -51,6 +54,8 @@ Evaluation Evaluator::evaluate(
   std::vector<PerAttack> per_attack(attack_list.size());
 
   for (std::int64_t begin = 0; begin < test.size(); begin += batch_size_) {
+    ZKG_SPAN("eval.batch");
+    ZKG_COUNT("eval.batches", 1);
     const std::int64_t end = std::min(begin + batch_size_, test.size());
     const Tensor images = test.images.slice_rows(begin, end);
     const std::vector<std::int64_t> labels(
@@ -62,8 +67,11 @@ Evaluation Evaluator::evaluate(
 
     for (std::size_t a = 0; a < attack_list.size(); ++a) {
       ZKG_CHECK(attack_list[a] != nullptr) << " null attack at index " << a;
-      const Tensor adversarial =
-          attack_list[a]->generate(model, images, labels);
+      Tensor adversarial;
+      {
+        ZKG_SPAN("eval.attack_gen");
+        adversarial = attack_list[a]->generate(model, images, labels);
+      }
       const std::vector<std::int64_t> adv_pred = model.predict(adversarial);
       per_attack[a].predictions.insert(per_attack[a].predictions.end(),
                                        adv_pred.begin(), adv_pred.end());

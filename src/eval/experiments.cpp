@@ -302,7 +302,8 @@ Table4Row run_table4(data::DatasetId id, std::uint64_t seed) {
 
 std::vector<TrainingTimeRow> run_training_time(data::DatasetId id,
                                                std::uint64_t seed,
-                                               std::int64_t epochs) {
+                                               std::int64_t epochs,
+                                               defense::TrainObserver* observer) {
   ExperimentScale scale = scale_for(id);
   scale.epochs = epochs;
   Rng data_rng(seed);
@@ -320,6 +321,7 @@ std::vector<TrainingTimeRow> run_training_time(data::DatasetId id,
     const defense::TrainConfig config = base_config(scale, seed);
     defense::TrainerPtr trainer =
         defense::make_trainer(defense_id, model, config);
+    if (observer != nullptr) trainer->add_observer(observer);
     const defense::TrainResult train = trainer->fit(data.train);
     rows.push_back({trainer->name(), train.mean_epoch_seconds()});
   }

@@ -112,9 +112,11 @@ struct TrainingTimeRow {
 };
 
 /// Per-epoch training time of {ZK-GanDef, FGSM-Adv, PGD-Adv, PGD-GanDef}.
-std::vector<TrainingTimeRow> run_training_time(data::DatasetId id,
-                                               std::uint64_t seed,
-                                               std::int64_t epochs = 2);
+/// When `observer` is non-null it is attached to every trainer, so callers
+/// (e.g. bench_fig5_training_time) can stream structured per-epoch records.
+std::vector<TrainingTimeRow> run_training_time(
+    data::DatasetId id, std::uint64_t seed, std::int64_t epochs = 2,
+    defense::TrainObserver* observer = nullptr);
 
 // -------------------------------------------------------- Figure 5 (right)
 

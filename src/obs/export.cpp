@@ -1,0 +1,111 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace zkg::obs {
+
+void write_jsonl(std::ostream& out, Telemetry& telemetry) {
+  telemetry.run_gauge_providers();
+
+  JsonObject meta;
+  meta["type"] = "meta";
+  meta["version"] = 1;
+  meta["clock"] = "steady";
+  meta["backend"] = parallel_backend_name();
+  meta["threads"] = static_cast<std::int64_t>(parallel_threads());
+  out << Json(std::move(meta)).dump() << "\n";
+
+  std::vector<SpanRecord> spans = telemetry.spans();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  for (const SpanRecord& span : spans) {
+    JsonObject record;
+    record["type"] = "span";
+    record["name"] = span.name;
+    record["seq"] = static_cast<std::int64_t>(span.seq);
+    record["parent"] = span.parent;
+    record["thread"] = static_cast<std::int64_t>(span.thread);
+    record["depth"] = static_cast<std::int64_t>(span.depth);
+    record["start_s"] = span.start_s;
+    record["dur_s"] = span.dur_s;
+    out << Json(std::move(record)).dump() << "\n";
+  }
+
+  for (const auto& [name, value] : telemetry.counter_values()) {
+    JsonObject record;
+    record["type"] = "counter";
+    record["name"] = name;
+    record["value"] = value;
+    out << Json(std::move(record)).dump() << "\n";
+  }
+  for (const auto& [name, value] : telemetry.gauge_values()) {
+    JsonObject record;
+    record["type"] = "gauge";
+    record["name"] = name;
+    record["value"] = value;
+    out << Json(std::move(record)).dump() << "\n";
+  }
+}
+
+Table span_table(const Telemetry& telemetry) {
+  struct Aggregate {
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+  };
+  std::map<std::string, Aggregate> by_name;
+  double root_total = 0.0;
+  for (const SpanRecord& span : telemetry.spans()) {
+    Aggregate& agg = by_name[span.name];
+    agg.count += 1;
+    agg.total_s += span.dur_s;
+    if (span.depth == 0) root_total += span.dur_s;
+  }
+
+  std::vector<std::pair<std::string, Aggregate>> rows(by_name.begin(),
+                                                      by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_s > b.second.total_s;
+  });
+
+  Table table({"Span", "count", "total s", "mean ms", "% of root"});
+  for (const auto& [name, agg] : rows) {
+    table.add_row(
+        {name, std::to_string(agg.count), Table::fixed(agg.total_s, 3),
+         Table::fixed(agg.total_s * 1e3 / static_cast<double>(agg.count), 3),
+         root_total > 0.0 ? Table::percent(agg.total_s / root_total) : "-"});
+  }
+  return table;
+}
+
+Table metric_table(Telemetry& telemetry) {
+  telemetry.run_gauge_providers();
+  Table table({"Metric", "kind", "value"});
+  for (const auto& [name, value] : telemetry.counter_values()) {
+    table.add_row({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : telemetry.gauge_values()) {
+    table.add_row({name, "gauge", Table::fixed(value, 2)});
+  }
+  return table;
+}
+
+bool flush(Telemetry& telemetry) {
+  const std::string path = telemetry.trace_path();
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("obs: cannot open trace file " + path);
+  write_jsonl(out, telemetry);
+  return true;
+}
+
+}  // namespace zkg::obs

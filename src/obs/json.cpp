@@ -1,0 +1,341 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace zkg::obs {
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  throw Error(std::string("json: expected ") + wanted + ", value has type " +
+              std::to_string(static_cast<int>(got)));
+}
+
+void dump_value(const Json& v, std::ostringstream& out);
+
+void dump_number(double d, std::ostringstream& out) {
+  if (!std::isfinite(d)) {
+    out << "null";
+    return;
+  }
+  // Integers (the common case: counts, seq numbers) print without exponent
+  // or trailing ".0"; everything else keeps full double round-trip
+  // precision.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    out << static_cast<long long>(d);
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+  out << buffer;
+}
+
+void dump_value(const Json& v, std::ostringstream& out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      out << "null";
+      return;
+    case Json::Type::kBool:
+      out << (v.as_bool() ? "true" : "false");
+      return;
+    case Json::Type::kNumber:
+      dump_number(v.as_number(), out);
+      return;
+    case Json::Type::kString:
+      out << '"' << json_escape(v.as_string()) << '"';
+      return;
+    case Json::Type::kArray: {
+      out << '[';
+      bool first = true;
+      for (const Json& item : v.as_array()) {
+        if (!first) out << ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out << ']';
+      return;
+    }
+    case Json::Type::kObject: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << json_escape(key) << "\":";
+        dump_value(value, out);
+      }
+      out << '}';
+      return;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ parser
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SerializationError("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The exporters only escape control characters (< 0x20), so a
+          // one-byte decode covers everything we emit; reject the rest
+          // rather than mis-decode.
+          if (code > 0x7f) fail("\\u escape beyond ASCII unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      std::size_t consumed = 0;
+      const std::string token = text_.substr(start, pos_ - start);
+      const double value = std::stod(token, &consumed);
+      if (consumed != token.size()) fail("malformed number");
+      return Json(value);
+    } catch (const std::logic_error&) {
+      fail("malformed number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return object_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const JsonObject& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) throw Error("json: missing member \"" + key + "\"");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+std::string Json::dump() const {
+  std::ostringstream out;
+  dump_value(*this, out);
+  return out.str();
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+Json json_parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace zkg::obs

@@ -1,0 +1,83 @@
+// Minimal JSON value type, writer and parser for the telemetry exporters.
+//
+// The observability layer emits JSON Lines (one object per line, see
+// DESIGN.md §9) and the tests round-trip those lines back through this
+// parser. The dialect is deliberately small — null, bool, finite doubles,
+// strings, arrays, objects — which covers every record the exporters write;
+// NaN/Inf are serialized as null (JSON has no spelling for them).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zkg::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic across serialize/parse cycles.
+using JsonObject = std::map<std::string, Json>;
+
+/// Immutable-ish JSON value. Numbers are stored as double (the exporters
+/// only emit counts and seconds, both exactly representable well past any
+/// realistic magnitude).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(std::int64_t i)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(std::uint64_t u)
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  Json(int i) : type_(Type::kNumber), number_(i) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw zkg::Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; throws when absent or not an object.
+  const Json& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Compact single-line serialization (stable member order).
+  std::string dump() const;
+
+  bool operator==(const Json& other) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parses one JSON document from `text`; throws zkg::SerializationError on
+/// malformed input or trailing garbage.
+Json json_parse(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
+
+}  // namespace zkg::obs

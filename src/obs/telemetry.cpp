@@ -1,0 +1,185 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "obs/export.hpp"
+
+namespace zkg::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_seq{0};
+std::atomic<std::uint32_t> g_next_thread{0};
+
+// Per-thread span stack bookkeeping: the innermost open span's seq and the
+// current nesting depth. Thread ids are registry-assigned dense indices
+// (0, 1, 2, ...) in first-span order, which keeps the JSONL small and
+// stable, unlike std::thread::id.
+struct ThreadState {
+  std::uint32_t id;
+  std::int64_t current = -1;
+  std::uint32_t depth = 0;
+
+  ThreadState() : id(g_next_thread.fetch_add(1, std::memory_order_relaxed)) {}
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void flush_at_exit() { flush(Telemetry::global()); }
+
+// Force the registry (and its ZKG_TRACE read) to initialise at program
+// startup. Without this, spans opened before the first explicit
+// Telemetry::global() call would see enabled() == false and silently drop —
+// e.g. the outermost train.fit span of an env-traced run.
+const bool g_bootstrap = (Telemetry::global(), true);
+
+}  // namespace
+
+Telemetry::Telemetry() = default;
+
+Telemetry& Telemetry::global() {
+  static Telemetry* telemetry = [] {
+    // Leaked on purpose: counter sites hold references across static
+    // destruction order, and the atexit flush must outlive everything.
+    auto* instance = new Telemetry();
+    instance->configure_from_env();
+    return instance;
+  }();
+  return *telemetry;
+}
+
+void Telemetry::set_enabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Telemetry::configure_from_env() {
+  const std::string value = env_or("ZKG_TRACE", "");
+  if (value.empty() || value == "0") {
+    set_enabled(false);
+    return;
+  }
+  set_trace_path(value == "1" ? "zkg_trace.jsonl" : value);
+  set_enabled(true);
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(flush_at_exit);
+  }
+}
+
+std::string Telemetry::trace_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_path_;
+}
+
+void Telemetry::set_trace_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trace_path_ = std::move(path);
+}
+
+Counter& Telemetry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& Telemetry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+void Telemetry::add_gauge_provider(std::function<void(Telemetry&)> provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.push_back(std::move(provider));
+}
+
+void Telemetry::run_gauge_providers() {
+  // Copy under the lock, run outside it: providers call gauge() themselves.
+  std::vector<std::function<void(Telemetry&)>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    providers = providers_;
+  }
+  for (const auto& provider : providers) provider(*this);
+}
+
+void Telemetry::record_span(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(record);
+}
+
+std::vector<SpanRecord> Telemetry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t Telemetry::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Telemetry::counter_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Telemetry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.value());
+  }
+  return out;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.reset();
+}
+
+void SpanGuard::begin(const char* name) {
+  Telemetry& telemetry = Telemetry::global();
+  ThreadState& state = thread_state();
+  name_ = name;
+  seq_ = g_next_seq.fetch_add(1, std::memory_order_relaxed);
+  parent_ = state.current;
+  depth_ = state.depth;
+  state.current = static_cast<std::int64_t>(seq_);
+  ++state.depth;
+  start_ = telemetry.now_seconds();
+}
+
+void SpanGuard::end() {
+  Telemetry& telemetry = Telemetry::global();
+  const double end_s = telemetry.now_seconds();
+  ThreadState& state = thread_state();
+  state.current = parent_;
+  --state.depth;
+  SpanRecord record;
+  record.name = name_;
+  record.seq = seq_;
+  record.parent = parent_;
+  record.thread = state.id;
+  record.depth = depth_;
+  record.start_s = start_;
+  record.dur_s = end_s - start_;
+  telemetry.record_span(record);
+}
+
+}  // namespace zkg::obs

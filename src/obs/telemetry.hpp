@@ -1,0 +1,194 @@
+// Observability layer: hierarchical trace spans, named counters and gauges,
+// behind a process-wide registry (DESIGN.md §9).
+//
+// Design goals, in order:
+//  1. Near-zero cost when tracing is disabled (the default). ZKG_SPAN
+//     compiles to one relaxed atomic load and a predictable branch; no
+//     clock read, no allocation, no lock. Counter sites guard themselves
+//     with obs::enabled() so the disabled hot path is identical to an
+//     uninstrumented build.
+//  2. Cheap when enabled. Spans read the monotonic clock twice and append
+//     one fixed-size record under a mutex at scope exit; span names must be
+//     string literals (the registry stores the pointer, never copies).
+//     Counters are relaxed atomics, safe to bump from parallel_for workers.
+//  3. One source of truth. Everything — trainer phases, attack iterations,
+//     pool traffic, parallel_for load — lands in the same registry and is
+//     exported by src/obs/export.* as a human table or JSON Lines.
+//
+// Tracing is controlled by the ZKG_TRACE environment variable (read once,
+// lazily): unset/empty/"0" disables; "1" enables and writes
+// "zkg_trace.jsonl" in the working directory at exit; any other value
+// enables and is used as the output path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace zkg::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when tracing is on. Relaxed load: safe and cheap from any thread.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count. add() is a relaxed fetch_add, so
+/// workers inside parallel_for may bump the same counter concurrently;
+/// aggregation is exact.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written measurement (pool bytes, thread count, ...).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One completed span. `name` points at the string literal passed to
+/// ZKG_SPAN. `parent` is the seq of the enclosing span on the same thread
+/// (-1 for roots); `start_s` is seconds since telemetry initialisation on
+/// the same monotonic clock as common/stopwatch.hpp.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t seq = 0;
+  std::int64_t parent = -1;
+  std::uint32_t thread = 0;
+  std::uint32_t depth = 0;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+};
+
+/// Process-wide registry of spans, counters and gauges.
+class Telemetry {
+ public:
+  /// The singleton every ZKG_SPAN / counter site reports to. First use
+  /// reads ZKG_TRACE (see file comment) and, when tracing is enabled from
+  /// the environment, registers an atexit JSONL flush.
+  static Telemetry& global();
+
+  /// Standalone registry (tests, scoped measurements). ZKG_SPAN/ZKG_COUNT
+  /// always report to global(); a standalone instance only sees what is
+  /// recorded into it explicitly (e.g. via defense::TelemetryObserver).
+  Telemetry();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  void set_enabled(bool enabled);
+  /// Re-reads ZKG_TRACE; used by tests that setenv() after startup.
+  void configure_from_env();
+
+  /// JSONL output path for flush(); empty disables file export.
+  std::string trace_path() const;
+  void set_trace_path(std::string path);
+
+  /// Named counter/gauge; created on first use. References stay valid for
+  /// the process lifetime, so hot sites cache them in function-local
+  /// statics. Names are dotted lower_snake ("subsystem.metric").
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Registers a callback run before every export, used by subsystems that
+  /// keep their own counters (BufferPool) to publish them as gauges.
+  void add_gauge_provider(std::function<void(Telemetry&)> provider);
+  void run_gauge_providers();
+
+  void record_span(const SpanRecord& record);
+
+  /// Snapshots (copies) for exporters and tests.
+  std::vector<SpanRecord> spans() const;
+  std::size_t span_count() const;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+  std::vector<std::pair<std::string, double>> gauge_values() const;
+
+  /// Clears recorded spans and zeroes every counter/gauge (registrations
+  /// and providers survive). Call only with no spans open.
+  void reset();
+
+  /// Seconds since telemetry initialisation (monotonic, Stopwatch-based).
+  double now_seconds() const { return epoch_.seconds(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, Counter> counters_;  // node-based: stable addresses
+  std::map<std::string, Gauge> gauges_;
+  std::vector<std::function<void(Telemetry&)>> providers_;
+  std::string trace_path_;
+  const Stopwatch epoch_;  // never reset: all start_s share one origin
+};
+
+/// RAII trace span. When tracing is disabled at construction the guard is
+/// inert: no clock read, no allocation, nothing recorded at destruction.
+/// `name` must be a string literal (or otherwise outlive the process).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (enabled()) begin(name);
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr) end();
+  }
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  double start_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::int64_t parent_ = -1;
+  std::uint32_t depth_ = 0;
+};
+
+#define ZKG_OBS_CONCAT_INNER(a, b) a##b
+#define ZKG_OBS_CONCAT(a, b) ZKG_OBS_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope.
+/// Usage: ZKG_SPAN("train.epoch");  — the name must be a string literal.
+#define ZKG_SPAN(name) \
+  ::zkg::obs::SpanGuard ZKG_OBS_CONCAT(zkg_span_guard_, __LINE__)(name)
+
+/// Bumps `name` by `n` when tracing is enabled. The counter reference is
+/// resolved once (function-local static), so steady-state cost is one
+/// enabled() check plus one relaxed fetch_add.
+#define ZKG_COUNT(name, n)                                              \
+  do {                                                                  \
+    if (::zkg::obs::enabled()) {                                        \
+      static ::zkg::obs::Counter& zkg_obs_counter_ =                    \
+          ::zkg::obs::Telemetry::global().counter(name);                \
+      zkg_obs_counter_.add(static_cast<std::uint64_t>(n));              \
+    }                                                                   \
+  } while (0)
+
+}  // namespace zkg::obs

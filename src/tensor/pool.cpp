@@ -2,10 +2,30 @@
 
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace zkg {
 
 BufferPool& BufferPool::global() {
   static BufferPool pool;
+  // Publish pool health into the telemetry registry lazily (providers run at
+  // export time, so the acquire/release hot path stays untouched). obs cannot
+  // depend on tensor, hence the provider lives here rather than in src/obs.
+  static const bool gauges_registered = [] {
+    obs::Telemetry::global().add_gauge_provider([](obs::Telemetry& t) {
+      const PoolStats s = BufferPool::global().stats();
+      t.gauge("pool.hits").set(static_cast<double>(s.hits));
+      t.gauge("pool.misses").set(static_cast<double>(s.misses));
+      t.gauge("pool.bytes_allocated")
+          .set(static_cast<double>(s.bytes_allocated));
+      t.gauge("pool.bytes_recycled")
+          .set(static_cast<double>(s.bytes_recycled));
+      t.gauge("pool.free_buffers").set(static_cast<double>(s.free_buffers));
+      t.gauge("pool.free_bytes").set(static_cast<double>(s.free_bytes));
+    });
+    return true;
+  }();
+  (void)gauges_registered;
   return pool;
 }
 

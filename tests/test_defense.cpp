@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "attacks/fgsm.hpp"
 #include "common/rng.hpp"
@@ -11,12 +12,14 @@
 #include "defense/adv_training.hpp"
 #include "defense/clp.hpp"
 #include "defense/cls.hpp"
+#include "defense/observer.hpp"
 #include "defense/pgd_gandef.hpp"
 #include "defense/registry.hpp"
 #include "defense/vanilla.hpp"
 #include "defense/zk_gandef.hpp"
 #include "eval/metrics.hpp"
 #include "models/lenet.hpp"
+#include "obs/json.hpp"
 #include "tensor/ops.hpp"
 
 namespace zkg::defense {
@@ -102,6 +105,180 @@ TEST(TrainConfig, Validation) {
   bad = quick_config();
   bad.disc_steps = 0;
   EXPECT_THROW(ZkGanDefTrainer(model, bad), InvalidArgument);
+}
+
+TEST(TrainConfig, ValidateThrowsTypedConfigError) {
+  EXPECT_NO_THROW(quick_config().validate());
+
+  const auto expect_rejected = [](auto&& mutate) {
+    TrainConfig bad = quick_config();
+    mutate(bad);
+    EXPECT_THROW(bad.validate(), ConfigError);
+  };
+  expect_rejected([](TrainConfig& c) { c.epochs = 0; });
+  expect_rejected([](TrainConfig& c) { c.batch_size = 0; });
+  expect_rejected([](TrainConfig& c) { c.learning_rate = 0.0f; });
+  expect_rejected([](TrainConfig& c) { c.learning_rate = -0.1f; });
+  expect_rejected([](TrainConfig& c) { c.sigma = -0.5f; });
+  expect_rejected([](TrainConfig& c) { c.lambda = -0.1f; });
+  expect_rejected([](TrainConfig& c) { c.gamma = 1.5f; });
+  expect_rejected([](TrainConfig& c) { c.gamma = -0.01f; });
+  expect_rejected([](TrainConfig& c) { c.disc_steps = 0; });
+  expect_rejected([](TrainConfig& c) { c.disc_learning_rate = 0.0f; });
+  expect_rejected([](TrainConfig& c) { c.attack.epsilon = -0.1f; });
+  expect_rejected([](TrainConfig& c) { c.attack.step_size = 0.0f; });
+  expect_rejected([](TrainConfig& c) { c.attack.iterations = 0; });
+  expect_rejected([](TrainConfig& c) { c.attack.restarts = 0; });
+
+  // ConfigError derives from InvalidArgument, so older catch sites hold.
+  TrainConfig bad = quick_config();
+  bad.learning_rate = -1.0f;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+
+  // The boundary values are legal.
+  TrainConfig edge = quick_config();
+  edge.gamma = 0.0f;
+  EXPECT_NO_THROW(edge.validate());
+  edge.gamma = 1.0f;
+  EXPECT_NO_THROW(edge.validate());
+  edge.sigma = 0.0f;
+  EXPECT_NO_THROW(edge.validate());
+}
+
+TEST(Registry, FactoryValidatesBeforeConstructing) {
+  models::Classifier model = fresh_model();
+  TrainConfig bad = quick_config();
+  bad.learning_rate = 0.0f;
+  for (const DefenseId id : all_defenses()) {
+    EXPECT_THROW(make_trainer(id, model, bad), ConfigError)
+        << defense_name(id);
+  }
+}
+
+// Records every callback so the tests can assert the observer contract.
+class RecordingObserver : public TrainObserver {
+ public:
+  void on_train_begin(const Trainer&) override { ++begins; }
+  void on_batch_end(const Trainer&, std::int64_t epoch, std::int64_t batch,
+                    const BatchStats& stats) override {
+    ++batch_calls;
+    last_epoch = epoch;
+    last_batch = batch;
+    last_batch_loss = stats.classifier_loss;
+  }
+  void on_epoch_end(const Trainer&, const EpochStats& stats) override {
+    epoch_losses.push_back(stats.classifier_loss);
+    epoch_batches.push_back(stats.batches);
+  }
+  void on_train_end(const Trainer&, const TrainResult& result) override {
+    ++ends;
+    final_epochs = static_cast<std::int64_t>(result.epochs.size());
+  }
+
+  int begins = 0;
+  int ends = 0;
+  int batch_calls = 0;
+  std::int64_t last_epoch = -1;
+  std::int64_t last_batch = -1;
+  float last_batch_loss = 0.0f;
+  std::int64_t final_epochs = 0;
+  std::vector<float> epoch_losses;
+  std::vector<std::int64_t> epoch_batches;
+};
+
+TEST(TrainObserver, ReceivesEveryCallbackInOrder) {
+  const data::Dataset train = small_train_set(256);
+  models::Classifier model = fresh_model();
+  VanillaTrainer trainer(model, quick_config(2));
+  RecordingObserver recorder;
+  trainer.add_observer(&recorder);
+  const TrainResult result = trainer.fit(train);
+
+  const std::int64_t batches_per_epoch = 256 / 64;
+  EXPECT_EQ(recorder.begins, 1);
+  EXPECT_EQ(recorder.ends, 1);
+  EXPECT_EQ(recorder.final_epochs, 2);
+  EXPECT_EQ(recorder.batch_calls, 2 * batches_per_epoch);
+  EXPECT_EQ(recorder.last_epoch, 1);
+  EXPECT_EQ(recorder.last_batch, batches_per_epoch - 1);
+  ASSERT_EQ(recorder.epoch_losses.size(), 2u);
+  EXPECT_FLOAT_EQ(recorder.epoch_losses.back(), result.final_loss());
+  EXPECT_EQ(recorder.epoch_batches.at(0), batches_per_epoch);
+  ASSERT_EQ(result.epochs.size(), 2u);
+  EXPECT_EQ(result.epochs.at(0).batches, batches_per_epoch);
+}
+
+TEST(TrainObserver, MultipleObserversAndClear) {
+  const data::Dataset train = small_train_set(128);
+  models::Classifier model = fresh_model();
+  VanillaTrainer trainer(model, quick_config(1));
+  RecordingObserver first;
+  RecordingObserver second;
+  trainer.add_observer(&first);
+  trainer.add_observer(&second);
+  trainer.fit(train);
+  EXPECT_EQ(first.begins, 1);
+  EXPECT_EQ(second.begins, 1);
+
+  trainer.clear_observers();
+  trainer.fit(train);
+  EXPECT_EQ(first.begins, 1);  // no further callbacks after clear
+  EXPECT_EQ(second.begins, 1);
+
+  EXPECT_THROW(trainer.add_observer(nullptr), InvalidArgument);
+}
+
+TEST(TrainObserver, DeprecatedVerboseFlagInstallsConsoleObserver) {
+  const data::Dataset train = small_train_set(128);
+  models::Classifier model = fresh_model();
+  TrainConfig config = quick_config(1);
+  config.verbose = true;  // legacy call sites keep their per-epoch output
+  VanillaTrainer trainer(model, config);
+  ::testing::internal::CaptureStderr();
+  trainer.fit(train);
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("Vanilla epoch 0"), std::string::npos) << output;
+}
+
+TEST(TrainObserver, TelemetryObserverBridgesToRegistry) {
+  obs::Telemetry telemetry;  // private registry: no global state involved
+  const data::Dataset train = small_train_set(128);
+  models::Classifier model = fresh_model();
+  VanillaTrainer trainer(model, quick_config(2));
+  TelemetryObserver bridge(telemetry);
+  trainer.add_observer(&bridge);
+  trainer.fit(train);
+
+  EXPECT_EQ(telemetry.counter("train.runs").value(), 1u);
+  EXPECT_EQ(telemetry.counter("train.epochs").value(), 2u);
+  EXPECT_EQ(telemetry.counter("train.batches").value(),
+            static_cast<std::uint64_t>(2 * (128 / 64)));
+  EXPECT_GT(telemetry.gauge("train.epoch_seconds").value(), 0.0);
+}
+
+TEST(TrainObserver, JsonlObserverEmitsOneRecordPerEvent) {
+  const data::Dataset train = small_train_set(128);
+  models::Classifier model = fresh_model();
+  VanillaTrainer trainer(model, quick_config(2));
+  std::ostringstream out;
+  JsonlTrainObserver recorder(out);
+  trainer.add_observer(&recorder);
+  trainer.fit(train);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int begin_records = 0, epoch_records = 0, end_records = 0;
+  while (std::getline(lines, line)) {
+    const obs::Json record = obs::json_parse(line);
+    const std::string type = record.at("type").as_string();
+    EXPECT_EQ(record.at("defense").as_string(), "Vanilla");
+    if (type == "train_begin") ++begin_records;
+    if (type == "epoch") ++epoch_records;
+    if (type == "train_end") ++end_records;
+  }
+  EXPECT_EQ(begin_records, 1);
+  EXPECT_EQ(epoch_records, 2);
+  EXPECT_EQ(end_records, 1);
 }
 
 class TrainerLearns : public ::testing::TestWithParam<DefenseId> {};

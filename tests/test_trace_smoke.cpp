@@ -1,0 +1,116 @@
+// End-to-end trace smoke test: enables ZKG_TRACE the way a user would, runs
+// a 1-epoch Vanilla training job, flushes the trace and checks that every
+// line is valid JSON and that the per-phase span durations account for the
+// wall-clock time TrainResult reports.
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/preprocess.hpp"
+#include "defense/vanilla.hpp"
+#include "models/lenet.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace zkg;
+
+TEST(TraceSmoke, OneEpochVanillaEmitsValidJsonl) {
+  // ZKG_TRACE=1 is the documented quick toggle: enabled, default path.
+  ASSERT_EQ(setenv("ZKG_TRACE", "1", /*overwrite=*/1), 0);
+  obs::Telemetry& telemetry = obs::Telemetry::global();
+  telemetry.reset();
+  telemetry.configure_from_env();
+  EXPECT_TRUE(obs::enabled());
+  EXPECT_EQ(telemetry.trace_path(), "zkg_trace.jsonl");
+
+  // Redirect the trace into the test's temp dir before anything is written.
+  const std::string path =
+      std::string(::testing::TempDir()) + "zkg_trace_smoke.jsonl";
+  telemetry.set_trace_path(path);
+
+  Rng data_rng(11);
+  const data::Dataset train =
+      data::scale_pixels(data::make_synth_digits(256, data_rng));
+  Rng model_rng(12);
+  models::Classifier model = models::build_lenet(
+      {1, 28, 28, 10}, models::Preset::kBench, model_rng);
+
+  defense::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 32;
+  defense::VanillaTrainer trainer(model, config);
+  const defense::TrainResult result = trainer.fit(train);
+
+  ASSERT_TRUE(obs::flush(telemetry));
+  telemetry.set_enabled(false);
+  unsetenv("ZKG_TRACE");
+
+  // Every line must parse; collect the records by type.
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open()) << path;
+  std::string line;
+  std::vector<obs::Json> spans;
+  bool saw_meta = false;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    const obs::Json record = obs::json_parse(line);
+    const std::string type = record.at("type").as_string();
+    if (type == "meta") {
+      saw_meta = true;
+      EXPECT_DOUBLE_EQ(record.at("version").as_number(), 1.0);
+    } else if (type == "span") {
+      spans.push_back(record);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+
+  // The expected phase structure for a 1-epoch Vanilla run.
+  const std::int64_t batches = result.epochs.at(0).batches;
+  ASSERT_GT(batches, 0);
+  double fit_s = 0.0, epoch_s = 0.0, phase_s = 0.0;
+  std::int64_t fit_count = 0, epoch_count = 0, batch_count = 0,
+               fwd_count = 0, opt_count = 0;
+  for (const obs::Json& span : spans) {
+    const std::string name = span.at("name").as_string();
+    const double dur = span.at("dur_s").as_number();
+    EXPECT_GE(dur, 0.0);
+    if (name == "train.fit") {
+      ++fit_count;
+      fit_s += dur;
+    } else if (name == "train.epoch") {
+      ++epoch_count;
+      epoch_s += dur;
+    } else if (name == "train.batch" || name == "train.batch_fetch") {
+      if (name == "train.batch") ++batch_count;
+      phase_s += dur;
+    } else if (name == "train.forward_backward") {
+      ++fwd_count;
+    } else if (name == "train.optimizer") {
+      ++opt_count;
+    }
+  }
+  EXPECT_EQ(fit_count, 1);
+  EXPECT_EQ(epoch_count, 1);
+  EXPECT_EQ(batch_count, batches);
+  EXPECT_EQ(fwd_count, batches);
+  EXPECT_EQ(opt_count, batches);
+
+  // The per-phase spans (batch_fetch + batch) must account for the reported
+  // wall clock: within 10% (plus a small absolute floor for very fast runs).
+  const double total = result.total_seconds;
+  const double tolerance = std::max(0.1 * total, 0.005);
+  EXPECT_NEAR(phase_s, total, tolerance)
+      << "per-phase spans do not account for TrainResult::total_seconds";
+  EXPECT_LE(epoch_s, fit_s + 1e-9);
+  EXPECT_GE(fit_s, total - tolerance);
+}
+
+}  // namespace
