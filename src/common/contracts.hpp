@@ -1,0 +1,45 @@
+// Contract macros: the one vocabulary for stating invariants in zkg code.
+//
+// Two enforcement tiers:
+//
+//  * ZKG_REQUIRE(cond)  — always on. API preconditions (shape arity,
+//    configuration ranges, aliasing rules). These sit outside inner loops,
+//    so their cost is a branch per kernel call, never per element.
+//  * ZKG_DCHECK(cond)   — compiled to nothing unless the build defines
+//    ZKG_CHECKED (cmake -DZKG_CHECKED=ON). Per-element bounds checks, NaN
+//    tripwires and pool poisoning live behind this tier; a release build
+//    pays zero cost for them.
+//
+// Both tiers throw zkg::InvalidArgument with a formatted, source-located
+// message and accept streamed context:
+//
+//   ZKG_REQUIRE(rows > 0) << " rows=" << rows;
+//   ZKG_DCHECK(i < numel()) << " flat index " << i;
+//
+// ZKG_CHECK is the legacy spelling of ZKG_REQUIRE; both stay available.
+// Tensor-aware contract macros (ZKG_REQUIRE_RANK, ZKG_REQUIRE_SAME_SHAPE,
+// ...) build on these in tensor/contracts.hpp.
+#pragma once
+
+#include "common/error.hpp"
+
+/// 1 when the build compiles contract enforcement in (-DZKG_CHECKED=ON),
+/// 0 otherwise. Usable in ordinary `if` statements; the dead branch folds
+/// away in release builds while still being compiled (no bit-rot).
+#if defined(ZKG_CHECKED) && ZKG_CHECKED
+#define ZKG_CHECKED_ENABLED 1
+#else
+#define ZKG_CHECKED_ENABLED 0
+#endif
+
+/// Always-on precondition. Same semantics as ZKG_CHECK; new code prefers
+/// this spelling so greps for contract sites find one name.
+#define ZKG_REQUIRE(cond) ZKG_CHECK(cond)
+
+/// Checked-build-only assertion. The condition and any streamed message are
+/// compiled in every build (so they cannot rot) but sit behind a constant
+/// branch that release builds fold to nothing.
+#define ZKG_DCHECK(cond) \
+  if (!ZKG_CHECKED_ENABLED) { \
+  } else                      \
+    ZKG_CHECK(cond)

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace zkg {
 
@@ -34,6 +35,23 @@ class SerializationError : public Error {
 class ConfigError : public InvalidArgument {
  public:
   explicit ConfigError(const std::string& what) : InvalidArgument(what) {}
+};
+
+/// Raised by the ZKG_CHECKED NaN/Inf tripwires when a layer forward/backward
+/// pass, an optimizer step or a loss produces the first non-finite value.
+/// `where` names the producer (layer or parameter), `phase` the pipeline
+/// stage ("forward", "backward", "optimizer-step", "loss").
+class NonFiniteError : public Error {
+ public:
+  NonFiniteError(const std::string& what, std::string where, std::string phase)
+      : Error(what), where_(std::move(where)), phase_(std::move(phase)) {}
+
+  const std::string& where() const { return where_; }
+  const std::string& phase() const { return phase_; }
+
+ private:
+  std::string where_;
+  std::string phase_;
 };
 
 namespace detail {

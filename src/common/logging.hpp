@@ -44,9 +44,13 @@ class LineBuilder {
 
 }  // namespace detail
 
-inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder debug() {
+  return detail::LineBuilder(Level::kDebug);
+}
 inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
 inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
-inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+inline detail::LineBuilder error() {
+  return detail::LineBuilder(Level::kError);
+}
 
 }  // namespace zkg::log

@@ -20,8 +20,12 @@ std::atomic<int> g_serial_depth{0};
 
 }  // namespace
 
-SerialScope::SerialScope() { g_serial_depth.fetch_add(1, std::memory_order_relaxed); }
-SerialScope::~SerialScope() { g_serial_depth.fetch_sub(1, std::memory_order_relaxed); }
+SerialScope::SerialScope() {
+  g_serial_depth.fetch_add(1, std::memory_order_relaxed);
+}
+SerialScope::~SerialScope() {
+  g_serial_depth.fetch_sub(1, std::memory_order_relaxed);
+}
 bool SerialScope::active() {
   return g_serial_depth.load(std::memory_order_relaxed) > 0;
 }
@@ -59,14 +63,13 @@ void parallel_for(std::int64_t count, std::int64_t grain,
   if (count <= 0) return;
   if (obs::enabled()) {
     // One-time: publish the worker count at export time, not per call.
-    static const bool gauge_registered = [] {
+    [[maybe_unused]] static const bool gauge_registered = [] {
       obs::Telemetry::global().add_gauge_provider([](obs::Telemetry& t) {
         t.gauge("parallel.threads")
             .set(static_cast<double>(parallel_threads()));
       });
       return true;
     }();
-    (void)gauge_registered;
     ZKG_COUNT("parallel.calls", 1);
     ZKG_COUNT("parallel.items", count);
     if (SerialScope::active()) ZKG_COUNT("parallel.serial_calls", 1);

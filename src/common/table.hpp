@@ -22,7 +22,9 @@ class Table {
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_cols() const { return header_.size(); }
   const std::vector<std::string>& header() const { return header_; }
-  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+  const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
 
   /// Monospace-aligned rendering for terminals.
   std::string to_text() const;

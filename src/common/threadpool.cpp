@@ -100,7 +100,8 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_chunks(ParallelJob& job) {
   for (;;) {
-    const std::int64_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t c =
+        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.num_chunks) return;
     const std::int64_t begin = c * job.chunk;
     const std::int64_t end = std::min(begin + job.chunk, job.count);
@@ -159,7 +160,8 @@ void ThreadPool::parallel_for(
   run_chunks(*job);
 
   std::unique_lock<std::mutex> lock(job->mu);
-  job->done_cv.wait(lock, [&job] { return job->chunks_done == job->num_chunks; });
+  job->done_cv.wait(lock,
+                    [&job] { return job->chunks_done == job->num_chunks; });
   if (job->first_error) {
     std::exception_ptr error = job->first_error;
     lock.unlock();

@@ -49,14 +49,16 @@ class ThreadPool {
   /// on the pool plus the calling thread; blocks until complete and
   /// rethrows the first exception thrown by any chunk. Safe to call
   /// concurrently from several threads and from inside pool tasks.
-  void parallel_for(std::int64_t count,
-                    const std::function<void(std::int64_t, std::int64_t)>& body);
+  void parallel_for(
+      std::int64_t count,
+      const std::function<void(std::int64_t, std::int64_t)>& body);
 
   /// As above, but no chunk covers fewer than `grain` items (except the
   /// last). Use a coarse grain for cheap per-item bodies so chunk dispatch
   /// does not dominate.
-  void parallel_for(std::int64_t count, std::int64_t grain,
-                    const std::function<void(std::int64_t, std::int64_t)>& body);
+  void parallel_for(
+      std::int64_t count, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t)>& body);
 
   /// Process-wide shared pool (lazily constructed with
   /// default_thread_count() workers).

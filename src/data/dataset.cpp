@@ -14,7 +14,9 @@ std::vector<std::int64_t> Dataset::class_histogram() const {
   return counts;
 }
 
-Tensor Dataset::image(std::int64_t i) const { return images.slice_rows(i, i + 1); }
+Tensor Dataset::image(std::int64_t i) const {
+  return images.slice_rows(i, i + 1);
+}
 
 Dataset Dataset::subset(const std::vector<std::int64_t>& indices) const {
   Dataset out;

@@ -36,7 +36,9 @@ struct Dataset {
 
   /// Row `i` as a [1, C, H, W] tensor plus its label.
   Tensor image(std::int64_t i) const;
-  std::int64_t label(std::int64_t i) const { return labels.at(static_cast<std::size_t>(i)); }
+  std::int64_t label(std::int64_t i) const {
+    return labels.at(static_cast<std::size_t>(i));
+  }
 
   /// Subset by row indices, preserving order.
   Dataset subset(const std::vector<std::int64_t>& indices) const;

@@ -1,9 +1,11 @@
 #include "defense/observer.hpp"
 
 #include <ostream>
+#include <sstream>
 
 #include "common/logging.hpp"
 #include "obs/json.hpp"
+#include "tensor/contracts.hpp"
 
 namespace zkg::defense {
 
@@ -19,26 +21,38 @@ TelemetryObserver::TelemetryObserver(obs::Telemetry& telemetry)
       epochs_(telemetry.counter("train.epochs")),
       batches_(telemetry.counter("train.batches")) {}
 
-void TelemetryObserver::on_train_begin(const Trainer& trainer) {
-  (void)trainer;
+void TelemetryObserver::on_train_begin(
+    [[maybe_unused]] const Trainer& trainer) {
   runs_.add();
 }
 
-void TelemetryObserver::on_batch_end(const Trainer& trainer,
-                                     std::int64_t epoch, std::int64_t batch,
-                                     const BatchStats& stats) {
-  (void)trainer; (void)epoch; (void)batch; (void)stats;
+void TelemetryObserver::on_batch_end([[maybe_unused]] const Trainer& trainer,
+                                     [[maybe_unused]] std::int64_t epoch,
+                                     [[maybe_unused]] std::int64_t batch,
+                                     [[maybe_unused]] const BatchStats& stats) {
   batches_.add();
 }
 
-void TelemetryObserver::on_epoch_end(const Trainer& trainer,
+void TelemetryObserver::on_epoch_end([[maybe_unused]] const Trainer& trainer,
                                      const EpochStats& stats) {
-  (void)trainer;
   epochs_.add();
   telemetry_.gauge("train.classifier_loss").set(stats.classifier_loss);
   telemetry_.gauge("train.discriminator_loss")
       .set(stats.discriminator_loss);
   telemetry_.gauge("train.epoch_seconds").set(stats.seconds);
+}
+
+void CheckedMathObserver::on_batch_end(const Trainer& trainer,
+                                       std::int64_t epoch, std::int64_t batch,
+                                       const BatchStats& stats) {
+  std::ostringstream where;
+  where << trainer.name() << " epoch " << epoch << " batch " << batch;
+  checked::check_finite_scalar(stats.classifier_loss, where.str(), "loss");
+  checked::check_finite_scalar(stats.discriminator_loss, where.str(),
+                               "discriminator-loss");
+  for (nn::Parameter* p : trainer.model().parameters()) {
+    checked::check_finite(p->value(), p->name(), "batch-end");
+  }
 }
 
 void JsonlTrainObserver::on_train_begin(const Trainer& trainer) {

@@ -38,6 +38,18 @@ class TelemetryObserver : public TrainObserver {
   obs::Counter& batches_;
 };
 
+/// The training-loop arm of the ZKG_CHECKED NaN/Inf tripwires: after every
+/// batch it verifies the reported classifier/discriminator losses are
+/// finite and re-checks every model parameter, throwing zkg::NonFiniteError
+/// naming the trainer, epoch/batch and the first offending parameter.
+/// Compiled in every build — attach one wherever NaN debugging is needed —
+/// and installed on every Trainer automatically in ZKG_CHECKED builds.
+class CheckedMathObserver : public TrainObserver {
+ public:
+  void on_batch_end(const Trainer& trainer, std::int64_t epoch,
+                    std::int64_t batch, const BatchStats& stats) override;
+};
+
 /// Writes one JSON object per line to `out`: a train_begin record, one
 /// epoch record per epoch, and a train_end summary. This is the structured
 /// BENCH-record source of truth used by bench_fig5_training_time and

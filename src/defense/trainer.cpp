@@ -80,6 +80,12 @@ Trainer::Trainer(models::Classifier& model, TrainConfig config)
   optimizer_ = std::make_unique<optim::Adam>(
       model_.parameters(), optim::AdamConfig{.learning_rate =
                                                  config_.learning_rate});
+  if (ZKG_CHECKED_ENABLED) {
+    // Checked builds tripwire every training run: losses and parameters
+    // are verified finite after each batch. clear_observers() opts out.
+    checked_shim_ = std::make_unique<CheckedMathObserver>();
+    observers_.push_back(checked_shim_.get());
+  }
   if (config_.verbose) {
     // Deprecated shim: config.verbose used to drive inline printing; it now
     // installs the console observer so old call sites keep their output.
@@ -89,13 +95,14 @@ Trainer::Trainer(models::Classifier& model, TrainConfig config)
 }
 
 void Trainer::add_observer(TrainObserver* observer) {
-  ZKG_CHECK(observer != nullptr) << " Trainer::add_observer(nullptr)";
+  ZKG_REQUIRE(observer != nullptr) << " Trainer::add_observer(nullptr)";
   observers_.push_back(observer);
 }
 
 void Trainer::clear_observers() {
   observers_.clear();
   verbose_shim_.reset();
+  checked_shim_.reset();
 }
 
 EpochStats Trainer::fit_epoch(data::Batcher& batcher,

@@ -89,24 +89,21 @@ class TrainObserver {
   virtual ~TrainObserver() = default;
 
   /// Before the first batch of fit().
-  virtual void on_train_begin(const Trainer& trainer) { (void)trainer; }
+  virtual void on_train_begin([[maybe_unused]] const Trainer& trainer) {}
 
   /// After every train_batch call. `batch` counts from 0 within the epoch.
-  virtual void on_batch_end(const Trainer& trainer, std::int64_t epoch,
-                            std::int64_t batch, const BatchStats& stats) {
-    (void)trainer; (void)epoch; (void)batch; (void)stats;
-  }
+  virtual void on_batch_end([[maybe_unused]] const Trainer& trainer,
+                            [[maybe_unused]] std::int64_t epoch,
+                            [[maybe_unused]] std::int64_t batch,
+                            [[maybe_unused]] const BatchStats& stats) {}
 
   /// After each epoch, with that epoch's aggregated stats.
-  virtual void on_epoch_end(const Trainer& trainer, const EpochStats& stats) {
-    (void)trainer; (void)stats;
-  }
+  virtual void on_epoch_end([[maybe_unused]] const Trainer& trainer,
+                            [[maybe_unused]] const EpochStats& stats) {}
 
   /// After the last epoch of fit(), with the complete result.
-  virtual void on_train_end(const Trainer& trainer,
-                            const TrainResult& result) {
-    (void)trainer; (void)result;
-  }
+  virtual void on_train_end([[maybe_unused]] const Trainer& trainer,
+                            [[maybe_unused]] const TrainResult& result) {}
 };
 
 class Trainer {
@@ -133,7 +130,11 @@ class Trainer {
   /// Removes every observer, including the verbose shim.
   void clear_observers();
 
-  models::Classifier& model() { return model_; }
+  /// The model being trained. Const-qualified but returning a mutable
+  /// reference: the Trainer never owns the model, and observers receiving
+  /// `const Trainer&` legitimately inspect (checked builds: NaN-scan) its
+  /// parameters.
+  models::Classifier& model() const { return model_; }
   const TrainConfig& config() const { return config_; }
 
  protected:
@@ -152,6 +153,9 @@ class Trainer {
  private:
   std::vector<TrainObserver*> observers_;
   std::unique_ptr<TrainObserver> verbose_shim_;  // owned console observer
+  // ZKG_CHECKED builds install a CheckedMathObserver here so every run is
+  // NaN-tripwired without call sites opting in; null in release builds.
+  std::unique_ptr<TrainObserver> checked_shim_;
 };
 
 using TrainerPtr = std::unique_ptr<Trainer>;

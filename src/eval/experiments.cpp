@@ -300,10 +300,9 @@ Table4Row run_table4(data::DatasetId id, std::uint64_t seed) {
 
 // ------------------------------------------------- Figure 5 (left / middle)
 
-std::vector<TrainingTimeRow> run_training_time(data::DatasetId id,
-                                               std::uint64_t seed,
-                                               std::int64_t epochs,
-                                               defense::TrainObserver* observer) {
+std::vector<TrainingTimeRow> run_training_time(
+    data::DatasetId id, std::uint64_t seed, std::int64_t epochs,
+    defense::TrainObserver* observer) {
   ExperimentScale scale = scale_for(id);
   scale.epochs = epochs;
   Rng data_rng(seed);

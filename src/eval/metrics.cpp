@@ -36,7 +36,9 @@ void ConfusionMatrix::add_all(const std::vector<std::int64_t>& truths,
                               const std::vector<std::int64_t>& predictions) {
   ZKG_CHECK(truths.size() == predictions.size())
       << " confusion add_all size mismatch";
-  for (std::size_t i = 0; i < truths.size(); ++i) add(truths[i], predictions[i]);
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    add(truths[i], predictions[i]);
+  }
 }
 
 std::int64_t ConfusionMatrix::count(std::int64_t truth,

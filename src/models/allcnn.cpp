@@ -11,8 +11,8 @@ namespace {
 void add_conv_relu(nn::Sequential& net, std::int64_t c_in, std::int64_t c_out,
                    std::int64_t kernel, std::int64_t stride,
                    std::int64_t padding, Rng& rng) {
-  net.emplace<nn::Conv2d>(nn::Conv2dConfig{c_in, c_out, kernel, stride, padding},
-                          rng);
+  net.emplace<nn::Conv2d>(
+      nn::Conv2dConfig{c_in, c_out, kernel, stride, padding}, rng);
   net.emplace<nn::ReLU>();
 }
 

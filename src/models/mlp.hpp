@@ -11,7 +11,7 @@ namespace zkg::models {
 
 /// Flatten -> [Dense -> ReLU]* -> Dense(num_classes).
 /// `hidden` lists the hidden-layer widths (may be empty: a linear model).
-Classifier build_mlp(const InputSpec& spec, const std::vector<std::int64_t>& hidden,
-                     Rng& rng);
+Classifier build_mlp(const InputSpec& spec,
+                     const std::vector<std::int64_t>& hidden, Rng& rng);
 
 }  // namespace zkg::models

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg::nn {
@@ -29,7 +30,8 @@ void ReLU::backward_into(const Tensor& grad_output, Tensor& grad_input) {
 }
 
 LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {
-  ZKG_CHECK(negative_slope >= 0.0f) << " LeakyReLU slope " << negative_slope;
+  ZKG_REQUIRE(negative_slope >= 0.0f)
+      << " LeakyReLU slope " << negative_slope;
 }
 
 void LeakyReLU::forward_into(const Tensor& input, Tensor& out,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/parallel.hpp"
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg::nn {
@@ -19,9 +20,9 @@ struct Layout {
 };
 
 Layout layout_of(const Shape& shape, std::int64_t features) {
-  ZKG_CHECK(shape.size() == 2 || shape.size() == 4)
+  ZKG_REQUIRE(shape.size() == 2 || shape.size() == 4)
       << " BatchNorm wants rank 2 or 4, got " << shape_to_string(shape);
-  ZKG_CHECK(shape[1] == features)
+  ZKG_REQUIRE(shape[1] == features)
       << " BatchNorm over " << features << " features, input "
       << shape_to_string(shape);
   if (shape.size() == 2) return {shape[0], features, 1};
@@ -43,8 +44,8 @@ BatchNorm::BatchNorm(std::int64_t features, float momentum, float epsilon)
       beta_("batchnorm.beta", Tensor({features})),
       running_mean_({features}),
       running_var_({features}, 1.0f) {
-  ZKG_CHECK(features > 0 && momentum > 0.0f && momentum <= 1.0f &&
-            epsilon > 0.0f)
+  ZKG_REQUIRE(features > 0 && momentum > 0.0f && momentum <= 1.0f &&
+              epsilon > 0.0f)
       << " BatchNorm(features=" << features << ", momentum=" << momentum
       << ", eps=" << epsilon << ")";
 }
@@ -60,7 +61,7 @@ void BatchNorm::forward_into(const Tensor& input, Tensor& out,
   Tensor& mean = mean_;
   Tensor& var = var_;
   if (training) {
-    ZKG_CHECK(l.count() > 1) << " BatchNorm training needs > 1 sample";
+    ZKG_REQUIRE(l.count() > 1) << " BatchNorm training needs > 1 sample";
     // Every feature's statistics (and running-stat update) are independent.
     parallel_for(features_, parallel_grain(2 * l.count()),
                  [&](std::int64_t f0, std::int64_t f1) {
@@ -118,8 +119,7 @@ void BatchNorm::forward_into(const Tensor& input, Tensor& out,
 }
 
 void BatchNorm::backward_into(const Tensor& grad_output, Tensor& grad_input) {
-  ZKG_CHECK(grad_output.shape() == cached_input_shape_)
-      << " BatchNorm backward shape " << shape_to_string(grad_output.shape());
+  ZKG_REQUIRE_SHAPE(grad_output, cached_input_shape_, "BatchNorm backward");
   const Layout l = layout_of(cached_input_shape_, features_);
   const auto n = static_cast<float>(l.count());
 

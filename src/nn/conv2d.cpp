@@ -5,6 +5,7 @@
 
 #include "common/parallel.hpp"
 #include "nn/init.hpp"
+#include "tensor/contracts.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/pool.hpp"
 
@@ -13,14 +14,14 @@ namespace {
 
 std::int64_t conv_out_size(std::int64_t in, const Conv2dConfig& cfg) {
   const std::int64_t padded = in + 2 * cfg.padding;
-  ZKG_CHECK(padded >= cfg.kernel)
+  ZKG_REQUIRE(padded >= cfg.kernel)
       << " conv input " << in << " smaller than kernel " << cfg.kernel;
   return (padded - cfg.kernel) / cfg.stride + 1;
 }
 
 void check_config(const Conv2dConfig& cfg) {
-  ZKG_CHECK(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
-            cfg.stride > 0 && cfg.padding >= 0)
+  ZKG_REQUIRE(cfg.in_channels > 0 && cfg.out_channels > 0 && cfg.kernel > 0 &&
+              cfg.stride > 0 && cfg.padding >= 0)
       << " bad Conv2dConfig(c_in=" << cfg.in_channels
       << ", c_out=" << cfg.out_channels << ", k=" << cfg.kernel
       << ", s=" << cfg.stride << ", p=" << cfg.padding << ")";
@@ -30,7 +31,7 @@ void check_config(const Conv2dConfig& cfg) {
 
 void im2col_into(Tensor& cols, const Tensor& input, const Conv2dConfig& cfg) {
   check_config(cfg);
-  ZKG_CHECK(input.ndim() == 4 && input.dim(1) == cfg.in_channels)
+  ZKG_REQUIRE(input.ndim() == 4 && input.dim(1) == cfg.in_channels)
       << " im2col expects [B, " << cfg.in_channels << ", H, W], got "
       << shape_to_string(input.shape());
   const std::int64_t b = input.dim(0);
@@ -42,8 +43,8 @@ void im2col_into(Tensor& cols, const Tensor& input, const Conv2dConfig& cfg) {
   const std::int64_t k = cfg.kernel;
   const std::int64_t patch = c * k * k;
 
+  ZKG_REQUIRE_NOT_ALIASED(cols, input, "im2col_into");
   ensure_shape(cols, {b * oh * ow, patch});
-  ZKG_CHECK(cols.data() != input.data()) << " im2col_into aliased tensors";
   const float* in = input.data();
   float* out = cols.data();
   // Each (bi, oy) output row strip is independent; flattening over b*oh
@@ -82,7 +83,8 @@ Tensor im2col(const Tensor& input, const Conv2dConfig& cfg) {
 void col2im_into(Tensor& image, const Tensor& cols, const Shape& input_shape,
                  const Conv2dConfig& cfg) {
   check_config(cfg);
-  ZKG_CHECK(input_shape.size() == 4) << " col2im wants a rank-4 input shape";
+  ZKG_REQUIRE(input_shape.size() == 4)
+      << " col2im wants a rank-4 input shape";
   const std::int64_t b = input_shape[0];
   const std::int64_t c = input_shape[1];
   const std::int64_t h = input_shape[2];
@@ -91,12 +93,12 @@ void col2im_into(Tensor& image, const Tensor& cols, const Shape& input_shape,
   const std::int64_t ow = conv_out_size(w, cfg);
   const std::int64_t k = cfg.kernel;
   const std::int64_t patch = c * k * k;
-  ZKG_CHECK(cols.ndim() == 2 && cols.dim(0) == b * oh * ow &&
-            cols.dim(1) == patch)
+  ZKG_REQUIRE(cols.ndim() == 2 && cols.dim(0) == b * oh * ow &&
+              cols.dim(1) == patch)
       << " col2im cols shape " << shape_to_string(cols.shape());
 
+  ZKG_REQUIRE_NOT_ALIASED(image, cols, "col2im_into");
   ensure_shape(image, input_shape);
-  ZKG_CHECK(image.data() != cols.data()) << " col2im_into aliased tensors";
   image.fill(0.0f);  // the scatter below accumulates into the image
   const float* in = cols.data();
   float* out = image.data();
@@ -180,13 +182,12 @@ void Conv2d::forward_into(const Tensor& input, Tensor& out,
 }
 
 void Conv2d::backward_into(const Tensor& grad_output, Tensor& grad_input) {
-  ZKG_CHECK(!cached_cols_.empty()) << " Conv2d backward before forward";
+  ZKG_REQUIRE(!cached_cols_.empty()) << " Conv2d backward before forward";
   const std::int64_t b = cached_input_shape_[0];
   const std::int64_t oh = conv_out_size(cached_input_shape_[2], cfg_);
   const std::int64_t ow = conv_out_size(cached_input_shape_[3], cfg_);
-  ZKG_CHECK(grad_output.shape() ==
-            Shape({b, cfg_.out_channels, oh, ow}))
-      << " Conv2d backward shape " << shape_to_string(grad_output.shape());
+  ZKG_REQUIRE_SHAPE(grad_output, Shape({b, cfg_.out_channels, oh, ow}),
+                    "Conv2d backward");
 
   // Reorder [B, OC, OH, OW] -> [B*OH*OW, OC]; batch images are disjoint.
   const std::int64_t spatial = oh * ow;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "nn/init.hpp"
+#include "tensor/contracts.hpp"
 #include "tensor/linalg.hpp"
 
 namespace zkg::nn {
@@ -13,12 +14,12 @@ Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng)
       weight_("dense.weight",
               he_normal({out_features, in_features}, in_features, rng)),
       bias_("dense.bias", Tensor({out_features})) {
-  ZKG_CHECK(in_features > 0 && out_features > 0)
+  ZKG_REQUIRE(in_features > 0 && out_features > 0)
       << " Dense(" << in_features << ", " << out_features << ")";
 }
 
 void Dense::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
-  ZKG_CHECK(input.ndim() == 2 && input.dim(1) == in_features_)
+  ZKG_REQUIRE(input.ndim() == 2 && input.dim(1) == in_features_)
       << " Dense expects [B, " << in_features_ << "], got "
       << shape_to_string(input.shape());
   cached_input_ = input;
@@ -27,10 +28,10 @@ void Dense::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
 }
 
 void Dense::backward_into(const Tensor& grad_output, Tensor& grad_input) {
-  ZKG_CHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_)
+  ZKG_REQUIRE(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_)
       << " Dense backward expects [B, " << out_features_ << "], got "
       << shape_to_string(grad_output.shape());
-  ZKG_CHECK(!cached_input_.empty()) << " Dense backward before forward";
+  ZKG_REQUIRE(!cached_input_.empty()) << " Dense backward before forward";
   // dW = g^T x, db = sum_rows(g), dx = g W.
   matmul_tn_into(grad_w_scratch_, grad_output, cached_input_);
   weight_.accumulate_grad(grad_w_scratch_);

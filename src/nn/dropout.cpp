@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "tensor/contracts.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/pool.hpp"
 #include "tensor/random.hpp"
@@ -9,7 +10,7 @@
 namespace zkg::nn {
 
 Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
-  ZKG_CHECK(rate >= 0.0f && rate < 1.0f) << " Dropout rate " << rate;
+  ZKG_REQUIRE(rate >= 0.0f && rate < 1.0f) << " Dropout rate " << rate;
 }
 
 void Dropout::forward_into(const Tensor& input, Tensor& out, bool training) {

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg::nn {
 
 void Flatten::forward_into(const Tensor& input, Tensor& out,
                            bool /*training*/) {
-  ZKG_CHECK(input.ndim() >= 2) << " Flatten expects rank >= 2, got "
-                               << shape_to_string(input.shape());
+  ZKG_REQUIRE(input.ndim() >= 2) << " Flatten expects rank >= 2, got "
+                                 << shape_to_string(input.shape());
   cached_input_shape_ = input.shape();
   const std::int64_t b = input.dim(0);
   ensure_shape(out, {b, input.numel() / b});
@@ -17,8 +18,9 @@ void Flatten::forward_into(const Tensor& input, Tensor& out,
 }
 
 void Flatten::backward_into(const Tensor& grad_output, Tensor& grad_input) {
-  ZKG_CHECK(!cached_input_shape_.empty()) << " Flatten backward before forward";
-  ZKG_CHECK(grad_output.numel() == shape_numel(cached_input_shape_))
+  ZKG_REQUIRE(!cached_input_shape_.empty())
+      << " Flatten backward before forward";
+  ZKG_REQUIRE(grad_output.numel() == shape_numel(cached_input_shape_))
       << " Flatten backward numel " << grad_output.numel();
   ensure_shape(grad_input, cached_input_shape_);
   std::copy_n(grad_output.data(), grad_output.numel(), grad_input.data());

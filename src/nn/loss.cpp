@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/contracts.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/pool.hpp"
 
@@ -10,21 +11,20 @@ namespace zkg::nn {
 float softmax_cross_entropy_into(const Tensor& logits,
                                  const std::vector<std::int64_t>& labels,
                                  Tensor& grad) {
-  ZKG_CHECK(logits.ndim() == 2) << " softmax_cross_entropy wants [B, C], got "
-                                << shape_to_string(logits.shape());
+  ZKG_REQUIRE_RANK(logits, 2, "softmax_cross_entropy");
   const std::int64_t batch = logits.dim(0);
   const std::int64_t classes = logits.dim(1);
-  ZKG_CHECK(static_cast<std::int64_t>(labels.size()) == batch)
+  ZKG_REQUIRE(static_cast<std::int64_t>(labels.size()) == batch)
       << " " << labels.size() << " labels for batch " << batch;
-  ZKG_CHECK(batch > 0) << " empty batch";
+  ZKG_REQUIRE(batch > 0) << " empty batch";
 
   softmax_rows_into(grad, logits);
   double total = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch);
   for (std::int64_t i = 0; i < batch; ++i) {
     const std::int64_t label = labels[static_cast<std::size_t>(i)];
-    ZKG_CHECK(label >= 0 && label < classes)
-        << " label " << label << " out of range [0, " << classes << ")";
+    ZKG_REQUIRE_INDEX(label, classes, "softmax_cross_entropy")
+        << " (label)";
     const float p = grad[i * classes + label];
     // softmax output is strictly positive, but guard against denormal drift.
     total += -std::log(static_cast<double>(p) + 1e-30);
@@ -45,7 +45,7 @@ float bce_with_logits_into(const Tensor& logits, const Tensor& targets,
                            Tensor& grad) {
   check_same_shape(logits, targets, "bce_with_logits");
   const std::int64_t n = logits.numel();
-  ZKG_CHECK(n > 0) << " empty batch";
+  ZKG_REQUIRE(n > 0) << " empty batch";
   ensure_shape(grad, logits.shape());
   double total = 0.0;
   const float inv = 1.0f / static_cast<float>(n);
@@ -82,9 +82,9 @@ Tensor sigmoid(const Tensor& logits) {
 PairPenaltyResult clean_logit_pairing(const Tensor& logits_a,
                                       const Tensor& logits_b, float lambda) {
   check_same_shape(logits_a, logits_b, "clean_logit_pairing");
-  ZKG_CHECK(logits_a.ndim() == 2) << " CLP wants [B, C] logits";
+  ZKG_REQUIRE_RANK(logits_a, 2, "clean_logit_pairing");
   const std::int64_t batch = logits_a.dim(0);
-  ZKG_CHECK(batch > 0) << " empty batch";
+  ZKG_REQUIRE(batch > 0) << " empty batch";
 
   PairPenaltyResult result;
   const Tensor diff = sub(logits_a, logits_b);
@@ -114,9 +114,9 @@ PairPenaltyResult clean_logit_pairing(const Tensor& logits_a,
 
 float clean_logit_squeezing_into(const Tensor& logits, float lambda,
                                  Tensor& grad) {
-  ZKG_CHECK(logits.ndim() == 2) << " CLS wants [B, C] logits";
+  ZKG_REQUIRE_RANK(logits, 2, "clean_logit_squeezing");
   const std::int64_t batch = logits.dim(0);
-  ZKG_CHECK(batch > 0) << " empty batch";
+  ZKG_REQUIRE(batch > 0) << " empty batch";
   const std::int64_t cols = logits.dim(1);
   ensure_shape(grad, logits.shape());
   double total = 0.0;

@@ -3,25 +3,25 @@
 #include <limits>
 #include <sstream>
 
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg::nn {
 
 MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
     : window_(window), stride_(stride == 0 ? window : stride) {
-  ZKG_CHECK(window_ > 0 && stride_ > 0)
+  ZKG_REQUIRE(window_ > 0 && stride_ > 0)
       << " MaxPool2d(window=" << window_ << ", stride=" << stride_ << ")";
 }
 
 void MaxPool2d::forward_into(const Tensor& input, Tensor& out,
                              bool /*training*/) {
-  ZKG_CHECK(input.ndim() == 4) << " MaxPool2d expects [B,C,H,W], got "
-                               << shape_to_string(input.shape());
+  ZKG_REQUIRE_RANK(input, 4, "MaxPool2d");
   const std::int64_t b = input.dim(0);
   const std::int64_t c = input.dim(1);
   const std::int64_t h = input.dim(2);
   const std::int64_t w = input.dim(3);
-  ZKG_CHECK(h >= window_ && w >= window_)
+  ZKG_REQUIRE(h >= window_ && w >= window_)
       << " pool window " << window_ << " larger than input " << h << "x" << w;
   const std::int64_t oh = (h - window_) / stride_ + 1;
   const std::int64_t ow = (w - window_) / stride_ + 1;
@@ -60,9 +60,10 @@ void MaxPool2d::forward_into(const Tensor& input, Tensor& out,
 }
 
 void MaxPool2d::backward_into(const Tensor& grad_output, Tensor& grad_input) {
-  ZKG_CHECK(!cached_argmax_.empty()) << " MaxPool2d backward before forward";
-  ZKG_CHECK(grad_output.numel() ==
-            static_cast<std::int64_t>(cached_argmax_.size()))
+  ZKG_REQUIRE(!cached_argmax_.empty())
+      << " MaxPool2d backward before forward";
+  ZKG_REQUIRE(grad_output.numel() ==
+              static_cast<std::int64_t>(cached_argmax_.size()))
       << " MaxPool2d backward shape " << shape_to_string(grad_output.shape());
   ensure_shape(grad_input, cached_input_shape_);
   grad_input.fill(0.0f);  // the scatter below accumulates
@@ -81,12 +82,11 @@ std::string MaxPool2d::name() const {
 
 void GlobalAvgPool::forward_into(const Tensor& input, Tensor& out,
                                  bool /*training*/) {
-  ZKG_CHECK(input.ndim() == 4) << " GlobalAvgPool expects [B,C,H,W], got "
-                               << shape_to_string(input.shape());
+  ZKG_REQUIRE_RANK(input, 4, "GlobalAvgPool");
   const std::int64_t b = input.dim(0);
   const std::int64_t c = input.dim(1);
   const std::int64_t spatial = input.dim(2) * input.dim(3);
-  ZKG_CHECK(spatial > 0) << " GlobalAvgPool over empty plane";
+  ZKG_REQUIRE(spatial > 0) << " GlobalAvgPool over empty plane";
   cached_input_shape_ = input.shape();
   ensure_shape(out, {b, c});
   const float* in = input.data();
@@ -99,14 +99,12 @@ void GlobalAvgPool::forward_into(const Tensor& input, Tensor& out,
 
 void GlobalAvgPool::backward_into(const Tensor& grad_output,
                                   Tensor& grad_input) {
-  ZKG_CHECK(cached_input_shape_.size() == 4)
+  ZKG_REQUIRE(cached_input_shape_.size() == 4)
       << " GlobalAvgPool backward before forward";
   const std::int64_t b = cached_input_shape_[0];
   const std::int64_t c = cached_input_shape_[1];
   const std::int64_t spatial = cached_input_shape_[2] * cached_input_shape_[3];
-  ZKG_CHECK(grad_output.shape() == Shape({b, c}))
-      << " GlobalAvgPool backward shape "
-      << shape_to_string(grad_output.shape());
+  ZKG_REQUIRE_SHAPE(grad_output, Shape({b, c}), "GlobalAvgPool backward");
   ensure_shape(grad_input, cached_input_shape_);
   float* gi = grad_input.data();
   const float inv = 1.0f / static_cast<float>(spatial);

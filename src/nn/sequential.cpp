@@ -2,42 +2,49 @@
 
 #include <sstream>
 
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg::nn {
 
 Sequential& Sequential::add(ModulePtr layer) {
-  ZKG_CHECK(layer != nullptr);
+  ZKG_REQUIRE(layer != nullptr);
   layers_.push_back(std::move(layer));
   return *this;
 }
 
 void Sequential::forward_into(const Tensor& input, Tensor& out,
                               bool training) {
-  ZKG_CHECK(!layers_.empty()) << " forward through empty Sequential";
+  ZKG_REQUIRE(!layers_.empty()) << " forward through empty Sequential";
   const std::size_t n = layers_.size();
   if (n == 1) {
     layers_[0]->forward_into(input, out, training);
+    ZKG_CHECKED_FINITE(out, layers_[0]->name(), "forward");
     return;
   }
   // Ping-pong intermediate activations through two pooled buffers; the
-  // final layer writes straight into the caller's destination.
+  // final layer writes straight into the caller's destination. In
+  // ZKG_CHECKED builds every layer output passes a NaN/Inf tripwire that
+  // names the layer which produced the first non-finite activation.
   Workspace ws;
   Tensor* bufs[2] = {&ws.scratch(), &ws.scratch()};
   const Tensor* cur = &input;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     Tensor* dst = bufs[i % 2];
     layers_[i]->forward_into(*cur, *dst, training);
+    ZKG_CHECKED_FINITE(*dst, layers_[i]->name(), "forward");
     cur = dst;
   }
   layers_[n - 1]->forward_into(*cur, out, training);
+  ZKG_CHECKED_FINITE(out, layers_[n - 1]->name(), "forward");
 }
 
 void Sequential::backward_into(const Tensor& grad_output, Tensor& grad_input) {
-  ZKG_CHECK(!layers_.empty()) << " backward through empty Sequential";
+  ZKG_REQUIRE(!layers_.empty()) << " backward through empty Sequential";
   const std::size_t n = layers_.size();
   if (n == 1) {
     layers_[0]->backward_into(grad_output, grad_input);
+    ZKG_CHECKED_FINITE(grad_input, layers_[0]->name(), "backward");
     return;
   }
   Workspace ws;
@@ -47,9 +54,11 @@ void Sequential::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   for (std::size_t i = n; i-- > 1; ++k) {
     Tensor* dst = bufs[k % 2];
     layers_[i]->backward_into(*cur, *dst);
+    ZKG_CHECKED_FINITE(*dst, layers_[i]->name(), "backward");
     cur = dst;
   }
   layers_[0]->backward_into(*cur, grad_input);
+  ZKG_CHECKED_FINITE(grad_input, layers_[0]->name(), "backward");
 }
 
 std::vector<Parameter*> Sequential::parameters() {
@@ -90,13 +99,12 @@ std::vector<Tensor> Sequential::state() {
 
 void Sequential::load_state(const std::vector<Tensor>& state) {
   std::vector<Parameter*> params = parameters();
-  ZKG_CHECK(state.size() == params.size())
+  ZKG_REQUIRE(state.size() == params.size())
       << " load_state: " << state.size() << " tensors for " << params.size()
       << " parameters";
   for (std::size_t i = 0; i < params.size(); ++i) {
-    ZKG_CHECK(state[i].shape() == params[i]->value().shape())
-        << " load_state: shape mismatch at parameter " << i << " ("
-        << params[i]->name() << ")";
+    ZKG_REQUIRE_SAME_SHAPE(state[i], params[i]->value(), "load_state")
+        << " at parameter " << i << " (" << params[i]->name() << ")";
     params[i]->value() = state[i];
   }
 }

@@ -49,7 +49,7 @@ Telemetry& Telemetry::global() {
   static Telemetry* telemetry = [] {
     // Leaked on purpose: counter sites hold references across static
     // destruction order, and the atexit flush must outlive everything.
-    auto* instance = new Telemetry();
+    auto* instance = new Telemetry();  // zkg-lint: allow(naked-allocation)
     instance->configure_from_env();
     return instance;
   }();

@@ -2,16 +2,18 @@
 
 #include <cmath>
 
+#include "tensor/contracts.hpp"
 #include "tensor/ops.hpp"
 
 namespace zkg::optim {
 
 Adam::Adam(std::vector<nn::Parameter*> params, AdamConfig config)
     : Optimizer(std::move(params)), config_(config) {
-  ZKG_CHECK(config_.learning_rate > 0.0f) << " Adam lr " << config_.learning_rate;
-  ZKG_CHECK(config_.beta1 >= 0.0f && config_.beta1 < 1.0f) << " beta1";
-  ZKG_CHECK(config_.beta2 >= 0.0f && config_.beta2 < 1.0f) << " beta2";
-  ZKG_CHECK(config_.epsilon > 0.0f) << " epsilon";
+  ZKG_REQUIRE(config_.learning_rate > 0.0f)
+      << " Adam lr " << config_.learning_rate;
+  ZKG_REQUIRE(config_.beta1 >= 0.0f && config_.beta1 < 1.0f) << " beta1";
+  ZKG_REQUIRE(config_.beta2 >= 0.0f && config_.beta2 < 1.0f) << " beta2";
+  ZKG_REQUIRE(config_.epsilon > 0.0f) << " epsilon";
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (nn::Parameter* p : params_) {
@@ -45,6 +47,7 @@ void Adam::step() {
       pw[j] -= config_.learning_rate * m_hat /
                (std::sqrt(v_hat) + config_.epsilon);
     }
+    ZKG_CHECKED_FINITE(p.value(), p.name(), "optimizer-step");
   }
 }
 

@@ -2,13 +2,14 @@
 
 #include <cmath>
 
+#include "tensor/contracts.hpp"
 #include "tensor/ops.hpp"
 
 namespace zkg::optim {
 
 float clip_grad_norm(const std::vector<nn::Parameter*>& params,
                      float max_norm) {
-  ZKG_CHECK(max_norm > 0.0f) << " clip_grad_norm max_norm " << max_norm;
+  ZKG_REQUIRE(max_norm > 0.0f) << " clip_grad_norm max_norm " << max_norm;
   double total = 0.0;
   for (nn::Parameter* p : params) {
     const float n = l2_norm(p->grad());
@@ -24,8 +25,9 @@ float clip_grad_norm(const std::vector<nn::Parameter*>& params,
 
 Sgd::Sgd(std::vector<nn::Parameter*> params, SgdConfig config)
     : Optimizer(std::move(params)), config_(config) {
-  ZKG_CHECK(config_.learning_rate > 0.0f) << " SGD lr " << config_.learning_rate;
-  ZKG_CHECK(config_.momentum >= 0.0f && config_.momentum < 1.0f)
+  ZKG_REQUIRE(config_.learning_rate > 0.0f)
+      << " SGD lr " << config_.learning_rate;
+  ZKG_REQUIRE(config_.momentum >= 0.0f && config_.momentum < 1.0f)
       << " SGD momentum " << config_.momentum;
   if (config_.momentum > 0.0f) {
     velocity_.reserve(params_.size());
@@ -48,6 +50,7 @@ void Sgd::step() {
     } else {
       axpy_(p.value(), -config_.learning_rate, g);
     }
+    ZKG_CHECKED_FINITE(p.value(), p.name(), "optimizer-step");
   }
 }
 

@@ -1,0 +1,39 @@
+#include "tensor/contracts.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace zkg::checked {
+
+std::int64_t first_non_finite(const Tensor& t) {
+  const float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return i;
+  }
+  return -1;
+}
+
+bool all_finite(const Tensor& t) { return first_non_finite(t) < 0; }
+
+void check_finite(const Tensor& t, std::string_view where,
+                  std::string_view phase) {
+  const std::int64_t bad = first_non_finite(t);
+  if (bad < 0) return;
+  std::ostringstream message;
+  message << "non-finite value " << t[bad] << " produced by " << where
+          << " during " << phase << " (first at flat index " << bad
+          << " of " << shape_to_string(t.shape()) << ")";
+  throw NonFiniteError(message.str(), std::string(where), std::string(phase));
+}
+
+void check_finite_scalar(float value, std::string_view where,
+                         std::string_view phase) {
+  if (std::isfinite(value)) return;
+  std::ostringstream message;
+  message << "non-finite value " << value << " produced by " << where
+          << " during " << phase;
+  throw NonFiniteError(message.str(), std::string(where), std::string(phase));
+}
+
+}  // namespace zkg::checked

@@ -1,0 +1,86 @@
+// Tensor-aware contract macros and the checked-math tripwires.
+//
+// These replace the ad-hoc `ZKG_CHECK(t.ndim() == 2) << ...` throws that
+// used to be copy-pasted through the kernels: each macro states one shape
+// contract and formats the same diagnostic everywhere (op name, expected
+// contract, offending shape). All ZKG_REQUIRE_* macros are always on; the
+// NaN/Inf tripwire (ZKG_CHECKED_FINITE) compiles to nothing outside
+// ZKG_CHECKED builds.
+#pragma once
+
+#include <string_view>
+
+#include "common/contracts.hpp"
+#include "tensor/tensor.hpp"
+
+/// Tensor `t` must have exactly `rank` dimensions.
+#define ZKG_REQUIRE_RANK(t, rank, op)                                   \
+  ZKG_REQUIRE((t).ndim() == (rank))                                     \
+      << " " << (op) << ": want rank " << (rank) << ", got "            \
+      << ::zkg::shape_to_string((t).shape())
+
+/// Tensors `a` and `b` must have identical shapes.
+#define ZKG_REQUIRE_SAME_SHAPE(a, b, op)                                \
+  ZKG_REQUIRE((a).shape() == (b).shape())                               \
+      << " " << (op) << ": shape mismatch "                             \
+      << ::zkg::shape_to_string((a).shape()) << " vs "                  \
+      << ::zkg::shape_to_string((b).shape())
+
+/// Tensor `t` must have exactly the given shape.
+#define ZKG_REQUIRE_SHAPE(t, expected, op)                              \
+  ZKG_REQUIRE((t).shape() == (expected))                                \
+      << " " << (op) << ": want shape "                                 \
+      << ::zkg::shape_to_string(expected) << ", got "                   \
+      << ::zkg::shape_to_string((t).shape())
+
+/// Index `i` must lie in the half-open range [0, extent).
+#define ZKG_REQUIRE_INDEX(i, extent, op)                                \
+  ZKG_REQUIRE((i) >= 0 && (i) < (extent))                               \
+      << " " << (op) << ": index " << (i) << " out of range [0, "       \
+      << (extent) << ")"
+
+/// Tensor `t` must hold at least one element.
+#define ZKG_REQUIRE_NONEMPTY(t, op) \
+  ZKG_REQUIRE((t).numel() > 0) << " " << (op) << ": empty tensor"
+
+/// An `_into` destination must not share storage with input `in`. An empty
+/// destination (data() == nullptr) is always fine.
+#define ZKG_REQUIRE_NOT_ALIASED(out, in, op)                            \
+  ZKG_REQUIRE((out).data() == nullptr || (out).data() != (in).data())   \
+      << " " << (op) << ": destination aliases an input"
+
+namespace zkg::checked {
+
+/// Flat index of the first non-finite element of `t`, or -1 when every
+/// element is finite.
+std::int64_t first_non_finite(const Tensor& t);
+
+/// True when every element of `t` is finite (no NaN, no +-Inf).
+bool all_finite(const Tensor& t);
+
+/// Throws zkg::NonFiniteError naming `where` (layer / parameter) and
+/// `phase` ("forward", "backward", "optimizer-step", "loss") if `t`
+/// contains a NaN or Inf. The message pinpoints the first offending flat
+/// index and its value. Call sites gate on ZKG_CHECKED via the
+/// ZKG_CHECKED_FINITE macro; calling this directly checks in every build.
+void check_finite(const Tensor& t, std::string_view where,
+                  std::string_view phase);
+
+/// Scalar variant for loss values.
+void check_finite_scalar(float value, std::string_view where,
+                         std::string_view phase);
+
+}  // namespace zkg::checked
+
+/// NaN/Inf tripwire: in ZKG_CHECKED builds, verifies `t` is element-wise
+/// finite and throws zkg::NonFiniteError naming the producer; in release
+/// builds expands to a no-op.
+#if ZKG_CHECKED_ENABLED
+#define ZKG_CHECKED_FINITE(t, where, phase) \
+  ::zkg::checked::check_finite((t), (where), (phase))
+#define ZKG_CHECKED_FINITE_SCALAR(value, where, phase) \
+  ::zkg::checked::check_finite_scalar((value), (where), (phase))
+#else
+#define ZKG_CHECKED_FINITE(t, where, phase) static_cast<void>(0)
+#define ZKG_CHECKED_FINITE_SCALAR(value, where, phase) static_cast<void>(0)
+#endif

@@ -3,20 +3,11 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg {
 namespace {
-
-void check_rank2(const Tensor& t, const char* who) {
-  ZKG_CHECK(t.ndim() == 2) << " " << who << " wants rank 2, got "
-                           << shape_to_string(t.shape());
-}
-
-void check_not_aliased(const Tensor& dst, const Tensor& src, const char* who) {
-  ZKG_CHECK(dst.data() == nullptr || dst.data() != src.data())
-      << " " << who << ": destination aliases an input";
-}
 
 // Tile sizes for the blocked GEMM kernels, in float elements. A kTileK x
 // kTileJ tile of B is 64 KiB — it stays resident in L2 while a chunk of
@@ -27,15 +18,16 @@ constexpr std::int64_t kTileK = 64;
 }  // namespace
 
 void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul");
-  check_rank2(b, "matmul");
+  ZKG_REQUIRE_RANK(a, 2, "matmul");
+  ZKG_REQUIRE_RANK(b, 2, "matmul");
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(1);
-  ZKG_CHECK(b.dim(0) == k) << " matmul inner dims: " << shape_to_string(a.shape())
-                           << " x " << shape_to_string(b.shape());
-  check_not_aliased(c, a, "matmul_into");
-  check_not_aliased(c, b, "matmul_into");
+  ZKG_REQUIRE(b.dim(0) == k)
+      << " matmul inner dims: " << shape_to_string(a.shape()) << " x "
+      << shape_to_string(b.shape());
+  ZKG_REQUIRE_NOT_ALIASED(c, a, "matmul_into");
+  ZKG_REQUIRE_NOT_ALIASED(c, b, "matmul_into");
   ensure_shape(c, {m, n});
   c.fill(0.0f);  // the blocked kernel accumulates into C
   const float* pa = a.data();
@@ -44,7 +36,8 @@ void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
   // Blocked i-k-j: for each (k, j) tile of B the chunk's rows of C are
   // updated while the tile is hot; the innermost j loop keeps B and C
   // row-contiguous so it vectorises.
-  parallel_for(m, parallel_grain(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+  const std::int64_t grain = parallel_grain(2 * k * n);
+  parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t kb = 0; kb < k; kb += kTileK) {
       const std::int64_t ke = std::min(kb + kTileK, k);
       for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
@@ -70,25 +63,26 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_nt");
-  check_rank2(b, "matmul_nt");
+  ZKG_REQUIRE_RANK(a, 2, "matmul_nt");
+  ZKG_REQUIRE_RANK(b, 2, "matmul_nt");
   const std::int64_t m = a.dim(0);
   const std::int64_t k = a.dim(1);
   const std::int64_t n = b.dim(0);
-  ZKG_CHECK(b.dim(1) == k) << " matmul_nt inner dims: "
-                           << shape_to_string(a.shape()) << " x "
-                           << shape_to_string(b.shape()) << "^T";
-  check_not_aliased(c, a, "matmul_nt_into");
-  check_not_aliased(c, b, "matmul_nt_into");
+  ZKG_REQUIRE(b.dim(1) == k)
+      << " matmul_nt inner dims: " << shape_to_string(a.shape()) << " x "
+      << shape_to_string(b.shape()) << "^T";
+  ZKG_REQUIRE_NOT_ALIASED(c, a, "matmul_nt_into");
+  ZKG_REQUIRE_NOT_ALIASED(c, b, "matmul_nt_into");
   ensure_shape(c, {m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   // Block the j loop so a band of B rows (jtile * k floats ~ 64 KiB) is
   // reused across every row i of the chunk.
-  const std::int64_t jtile =
-      std::clamp<std::int64_t>((1 << 14) / std::max<std::int64_t>(1, k), 8, 512);
-  parallel_for(m, parallel_grain(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+  const std::int64_t jtile = std::clamp<std::int64_t>(
+      (1 << 14) / std::max<std::int64_t>(1, k), 8, 512);
+  const std::int64_t grain = parallel_grain(2 * k * n);
+  parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t jb = 0; jb < n; jb += jtile) {
       const std::int64_t je = std::min(jb + jtile, n);
       for (std::int64_t i = i0; i < i1; ++i) {
@@ -123,16 +117,16 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_tn");
-  check_rank2(b, "matmul_tn");
+  ZKG_REQUIRE_RANK(a, 2, "matmul_tn");
+  ZKG_REQUIRE_RANK(b, 2, "matmul_tn");
   const std::int64_t k = a.dim(0);
   const std::int64_t m = a.dim(1);
   const std::int64_t n = b.dim(1);
-  ZKG_CHECK(b.dim(0) == k) << " matmul_tn inner dims: "
-                           << shape_to_string(a.shape()) << "^T x "
-                           << shape_to_string(b.shape());
-  check_not_aliased(c, a, "matmul_tn_into");
-  check_not_aliased(c, b, "matmul_tn_into");
+  ZKG_REQUIRE(b.dim(0) == k)
+      << " matmul_tn inner dims: " << shape_to_string(a.shape()) << "^T x "
+      << shape_to_string(b.shape());
+  ZKG_REQUIRE_NOT_ALIASED(c, a, "matmul_tn_into");
+  ZKG_REQUIRE_NOT_ALIASED(c, b, "matmul_tn_into");
   ensure_shape(c, {m, n});
   c.fill(0.0f);  // the rank-1 update kernel accumulates into C
   const float* pa = a.data();
@@ -140,7 +134,8 @@ void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
   float* pc = c.data();
   // Accumulate rank-1 updates; k is the batch dimension in backprop, so
   // parallelism and blocking mirror matmul with A read column-wise.
-  parallel_for(m, parallel_grain(2 * k * n), [&](std::int64_t i0, std::int64_t i1) {
+  const std::int64_t grain = parallel_grain(2 * k * n);
+  parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t kb = 0; kb < k; kb += kTileK) {
       const std::int64_t ke = std::min(kb + kTileK, k);
       for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
@@ -166,8 +161,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 void transpose2d_into(Tensor& out, const Tensor& a) {
-  check_rank2(a, "transpose2d");
-  check_not_aliased(out, a, "transpose2d_into");
+  ZKG_REQUIRE_RANK(a, 2, "transpose2d");
+  ZKG_REQUIRE_NOT_ALIASED(out, a, "transpose2d_into");
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   ensure_shape(out, {n, m});
@@ -193,12 +188,12 @@ Tensor transpose2d(const Tensor& a) {
 }
 
 void matvec_into(Tensor& y, const Tensor& a, const Tensor& x) {
-  check_rank2(a, "matvec");
-  ZKG_CHECK(x.ndim() == 1 && x.dim(0) == a.dim(1))
+  ZKG_REQUIRE_RANK(a, 2, "matvec");
+  ZKG_REQUIRE(x.ndim() == 1 && x.dim(0) == a.dim(1))
       << " matvec shapes: " << shape_to_string(a.shape()) << " x "
       << shape_to_string(x.shape());
-  check_not_aliased(y, a, "matvec_into");
-  check_not_aliased(y, x, "matvec_into");
+  ZKG_REQUIRE_NOT_ALIASED(y, a, "matvec_into");
+  ZKG_REQUIRE_NOT_ALIASED(y, x, "matvec_into");
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   ensure_shape(y, {m});
@@ -221,8 +216,8 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
 }
 
 void add_row_bias_(Tensor& a, const Tensor& bias) {
-  check_rank2(a, "add_row_bias_");
-  ZKG_CHECK(bias.ndim() == 1 && bias.dim(0) == a.dim(1))
+  ZKG_REQUIRE_RANK(a, 2, "add_row_bias_");
+  ZKG_REQUIRE(bias.ndim() == 1 && bias.dim(0) == a.dim(1))
       << " bias shape " << shape_to_string(bias.shape()) << " vs "
       << shape_to_string(a.shape());
   const std::int64_t m = a.dim(0);
@@ -237,8 +232,8 @@ void add_row_bias_(Tensor& a, const Tensor& bias) {
 }
 
 void col_sum_into(Tensor& out, const Tensor& a) {
-  check_rank2(a, "col_sum");
-  check_not_aliased(out, a, "col_sum_into");
+  ZKG_REQUIRE_RANK(a, 2, "col_sum");
+  ZKG_REQUIRE_NOT_ALIASED(out, a, "col_sum_into");
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   ensure_shape(out, {n});

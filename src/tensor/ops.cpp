@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg {
@@ -11,7 +12,7 @@ namespace {
 template <typename F>
 void binary_op_into(Tensor& out, const Tensor& a, const Tensor& b,
                     const char* name, F f) {
-  check_same_shape(a, b, name);
+  ZKG_REQUIRE_SAME_SHAPE(a, b, name);
   ensure_shape(out, a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
@@ -22,32 +23,38 @@ void binary_op_into(Tensor& out, const Tensor& a, const Tensor& b,
 
 template <typename F>
 Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
-  check_same_shape(a, b, name);
+  // Pre-sized so the _into path's ensure_shape is a no-op: value forms
+  // allocate plainly instead of borrowing from (and never repaying) the
+  // buffer pool.
   Tensor out(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  binary_op_into(out, a, b, name, f);
   return out;
 }
 
 template <typename F>
 void binary_op_(Tensor& a, const Tensor& b, const char* name, F f) {
-  check_same_shape(a, b, name);
+  ZKG_REQUIRE_SAME_SHAPE(a, b, name);
   float* pa = a.data();
   const float* pb = b.data();
   const std::int64_t n = a.numel();
   for (std::int64_t i = 0; i < n; ++i) pa[i] = f(pa[i], pb[i]);
 }
 
+// Element-wise unary into `out`. Safe when out aliases a (same index on
+// both sides), so the value forms reuse it without an aliasing contract.
 template <typename F>
-Tensor unary_op(const Tensor& a, F f) {
-  Tensor out(a.shape());
+void unary_op_into(Tensor& out, const Tensor& a, F f) {
+  ensure_shape(out, a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
   for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& a, F f) {
+  Tensor out(a.shape());  // pre-sized: see binary_op
+  unary_op_into(out, a, f);
   return out;
 }
 
@@ -84,6 +91,9 @@ void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
 void mul_into(Tensor& out, const Tensor& a, const Tensor& b) {
   binary_op_into(out, a, b, "mul_into", [](float x, float y) { return x * y; });
 }
+void div_into(Tensor& out, const Tensor& a, const Tensor& b) {
+  binary_op_into(out, a, b, "div_into", [](float x, float y) { return x / y; });
+}
 
 Tensor add(const Tensor& a, float s) {
   return unary_op(a, [s](float x) { return x + s; });
@@ -99,9 +109,15 @@ void mul_(Tensor& a, float s) {
   float* pa = a.data();
   for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
 }
+void add_into(Tensor& out, const Tensor& a, float s) {
+  unary_op_into(out, a, [s](float x) { return x + s; });
+}
+void mul_into(Tensor& out, const Tensor& a, float s) {
+  unary_op_into(out, a, [s](float x) { return x * s; });
+}
 
 void axpy_(Tensor& y, float alpha, const Tensor& x) {
-  check_same_shape(y, x, "axpy_");
+  ZKG_REQUIRE_SAME_SHAPE(y, x, "axpy_");
   float* py = y.data();
   const float* px = x.data();
   const std::int64_t n = y.numel();
@@ -109,7 +125,7 @@ void axpy_(Tensor& y, float alpha, const Tensor& x) {
 }
 
 void add_scaled_sign_(Tensor& y, float alpha, const Tensor& x) {
-  check_same_shape(y, x, "add_scaled_sign_");
+  ZKG_REQUIRE_SAME_SHAPE(y, x, "add_scaled_sign_");
   float* py = y.data();
   const float* px = x.data();
   const std::int64_t n = y.numel();
@@ -141,13 +157,16 @@ void sign_(Tensor& a) {
   }
 }
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  ZKG_CHECK(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
-  return unary_op(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+  Tensor out(a.shape());  // pre-sized: see binary_op
+  clamp_into(out, a, lo, hi);
+  return out;
 }
 void clamp_(Tensor& a, float lo, float hi) {
-  ZKG_CHECK(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
+  ZKG_REQUIRE(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
   float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] = std::clamp(pa[i], lo, hi);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    pa[i] = std::clamp(pa[i], lo, hi);
+  }
 }
 Tensor exp(const Tensor& a) {
   return unary_op(a, [](float x) { return std::exp(x); });
@@ -161,6 +180,35 @@ Tensor sqrt(const Tensor& a) {
 Tensor square(const Tensor& a) {
   return unary_op(a, [](float x) { return x * x; });
 }
+void neg_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) { return -x; });
+}
+void abs_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) { return std::fabs(x); });
+}
+void sign_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) {
+    if (x > 0.0f) return 1.0f;
+    if (x < 0.0f) return -1.0f;
+    return 0.0f;
+  });
+}
+void clamp_into(Tensor& out, const Tensor& a, float lo, float hi) {
+  ZKG_REQUIRE(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
+  unary_op_into(out, a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+void exp_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) { return std::exp(x); });
+}
+void log_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) { return std::log(x); });
+}
+void sqrt_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) { return std::sqrt(x); });
+}
+void square_into(Tensor& out, const Tensor& a) {
+  unary_op_into(out, a, [](float x) { return x * x; });
+}
 
 float sum(const Tensor& a) {
   double total = 0.0;  // double accumulator avoids float drift on big tensors
@@ -170,17 +218,17 @@ float sum(const Tensor& a) {
 }
 
 float mean(const Tensor& a) {
-  ZKG_CHECK(a.numel() > 0) << " mean of empty tensor";
+  ZKG_REQUIRE_NONEMPTY(a, "mean");
   return sum(a) / static_cast<float>(a.numel());
 }
 
 float max_value(const Tensor& a) {
-  ZKG_CHECK(a.numel() > 0) << " max of empty tensor";
+  ZKG_REQUIRE_NONEMPTY(a, "max_value");
   return *std::max_element(a.storage().begin(), a.storage().end());
 }
 
 float min_value(const Tensor& a) {
-  ZKG_CHECK(a.numel() > 0) << " min of empty tensor";
+  ZKG_REQUIRE_NONEMPTY(a, "min_value");
   return *std::min_element(a.storage().begin(), a.storage().end());
 }
 
@@ -203,7 +251,7 @@ float l2_norm(const Tensor& a) {
 }
 
 float dot(const Tensor& a, const Tensor& b) {
-  check_same_shape(a, b, "dot");
+  ZKG_REQUIRE_SAME_SHAPE(a, b, "dot");
   double total = 0.0;
   const float* pa = a.data();
   const float* pb = b.data();
@@ -213,39 +261,52 @@ float dot(const Tensor& a, const Tensor& b) {
   return static_cast<float>(total);
 }
 
-Tensor row_sum(const Tensor& a) {
-  ZKG_CHECK(a.ndim() == 2) << " row_sum wants rank 2, got "
-                           << shape_to_string(a.shape());
+void row_sum_into(Tensor& out, const Tensor& a) {
+  ZKG_REQUIRE_RANK(a, 2, "row_sum");
+  ZKG_REQUIRE_NOT_ALIASED(out, a, "row_sum_into");
   const std::int64_t rows = a.dim(0);
   const std::int64_t cols = a.dim(1);
-  Tensor out({rows});
+  ensure_shape(out, {rows});
   for (std::int64_t r = 0; r < rows; ++r) {
     double total = 0.0;
     for (std::int64_t c = 0; c < cols; ++c) total += a[r * cols + c];
     out[r] = static_cast<float>(total);
   }
+}
+
+Tensor row_sum(const Tensor& a) {
+  ZKG_REQUIRE_RANK(a, 2, "row_sum");
+  Tensor out({a.dim(0)});  // pre-sized: see binary_op
+  row_sum_into(out, a);
   return out;
 }
 
-Tensor row_max(const Tensor& a) {
-  ZKG_CHECK(a.ndim() == 2) << " row_max wants rank 2, got "
-                           << shape_to_string(a.shape());
-  ZKG_CHECK(a.dim(1) > 0) << " row_max of zero-width tensor";
+void row_max_into(Tensor& out, const Tensor& a) {
+  ZKG_REQUIRE_RANK(a, 2, "row_max");
+  ZKG_REQUIRE(a.dim(1) > 0) << " row_max of zero-width tensor";
+  ZKG_REQUIRE_NOT_ALIASED(out, a, "row_max_into");
   const std::int64_t rows = a.dim(0);
   const std::int64_t cols = a.dim(1);
-  Tensor out({rows});
+  ensure_shape(out, {rows});
   for (std::int64_t r = 0; r < rows; ++r) {
     float best = a[r * cols];
-    for (std::int64_t c = 1; c < cols; ++c) best = std::max(best, a[r * cols + c]);
+    for (std::int64_t c = 1; c < cols; ++c) {
+      best = std::max(best, a[r * cols + c]);
+    }
     out[r] = best;
   }
+}
+
+Tensor row_max(const Tensor& a) {
+  ZKG_REQUIRE_RANK(a, 2, "row_max");
+  Tensor out({a.dim(0)});  // pre-sized: see binary_op
+  row_max_into(out, a);
   return out;
 }
 
 std::vector<std::int64_t> argmax_rows(const Tensor& a) {
-  ZKG_CHECK(a.ndim() == 2) << " argmax_rows wants rank 2, got "
-                           << shape_to_string(a.shape());
-  ZKG_CHECK(a.dim(1) > 0) << " argmax_rows of zero-width tensor";
+  ZKG_REQUIRE_RANK(a, 2, "argmax_rows");
+  ZKG_REQUIRE(a.dim(1) > 0) << " argmax_rows of zero-width tensor";
   const std::int64_t rows = a.dim(0);
   const std::int64_t cols = a.dim(1);
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
@@ -260,10 +321,8 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
 }
 
 void softmax_rows_into(Tensor& out, const Tensor& logits) {
-  ZKG_CHECK(logits.ndim() == 2) << " softmax_rows wants rank 2, got "
-                                << shape_to_string(logits.shape());
-  ZKG_CHECK(out.data() == nullptr || out.data() != logits.data())
-      << " softmax_rows_into: destination aliases the logits";
+  ZKG_REQUIRE_RANK(logits, 2, "softmax_rows");
+  ZKG_REQUIRE_NOT_ALIASED(out, logits, "softmax_rows_into");
   const std::int64_t rows = logits.dim(0);
   const std::int64_t cols = logits.dim(1);
   ensure_shape(out, logits.shape());
@@ -289,30 +348,39 @@ Tensor softmax_rows(const Tensor& logits) {
   return out;
 }
 
-Tensor one_hot(const std::vector<std::int64_t>& labels,
-               std::int64_t num_classes) {
-  ZKG_CHECK(num_classes > 0);
-  Tensor out({static_cast<std::int64_t>(labels.size()), num_classes});
+void one_hot_into(Tensor& out, const std::vector<std::int64_t>& labels,
+                  std::int64_t num_classes) {
+  ZKG_REQUIRE(num_classes > 0)
+      << " one_hot: num_classes must be positive, got " << num_classes;
+  ensure_shape(out, {static_cast<std::int64_t>(labels.size()), num_classes});
+  out.fill(0.0f);
   for (std::size_t i = 0; i < labels.size(); ++i) {
     const std::int64_t label = labels[i];
-    ZKG_CHECK(label >= 0 && label < num_classes)
-        << " label " << label << " out of range [0, " << num_classes << ")";
+    ZKG_REQUIRE_INDEX(label, num_classes, "one_hot") << " (label)";
     out[static_cast<std::int64_t>(i) * num_classes + label] = 1.0f;
   }
+}
+
+Tensor one_hot(const std::vector<std::int64_t>& labels,
+               std::int64_t num_classes) {
+  ZKG_REQUIRE(num_classes > 0)
+      << " one_hot: num_classes must be positive, got " << num_classes;
+  // Pre-sized: see binary_op.
+  Tensor out({static_cast<std::int64_t>(labels.size()), num_classes});
+  one_hot_into(out, labels, num_classes);
   return out;
 }
 
 void concat_rows_into(Tensor& out, const Tensor& a, const Tensor& b) {
-  ZKG_CHECK(a.ndim() == b.ndim() && a.ndim() >= 1)
+  ZKG_REQUIRE(a.ndim() == b.ndim() && a.ndim() >= 1)
       << " concat_rows rank mismatch: " << shape_to_string(a.shape())
       << " vs " << shape_to_string(b.shape());
   for (std::int64_t i = 1; i < a.ndim(); ++i) {
-    ZKG_CHECK(a.dim(i) == b.dim(i)) << " concat_rows inner-shape mismatch on axis "
-                                    << i;
+    ZKG_REQUIRE(a.dim(i) == b.dim(i))
+        << " concat_rows inner-shape mismatch on axis " << i;
   }
-  ZKG_CHECK(out.data() == nullptr ||
-            (out.data() != a.data() && out.data() != b.data()))
-      << " concat_rows_into: destination aliases an input";
+  ZKG_REQUIRE_NOT_ALIASED(out, a, "concat_rows_into");
+  ZKG_REQUIRE_NOT_ALIASED(out, b, "concat_rows_into");
   Shape out_shape = a.shape();
   out_shape[0] = a.dim(0) + b.dim(0);
   ensure_shape(out, out_shape);
@@ -326,21 +394,30 @@ Tensor concat_rows(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& indices) {
-  ZKG_CHECK(a.ndim() >= 1) << " gather_rows on rank-0 tensor";
+void gather_rows_into(Tensor& out, const Tensor& a,
+                      const std::vector<std::int64_t>& indices) {
+  ZKG_REQUIRE(a.ndim() >= 1) << " gather_rows on rank-0 tensor";
+  ZKG_REQUIRE_NOT_ALIASED(out, a, "gather_rows_into");
   const std::int64_t rows = a.dim(0);
   std::int64_t stride = 1;
   for (std::int64_t i = 1; i < a.ndim(); ++i) stride *= a.dim(i);
   Shape out_shape = a.shape();
   out_shape[0] = static_cast<std::int64_t>(indices.size());
-  Tensor out(std::move(out_shape));
+  ensure_shape(out, out_shape);
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const std::int64_t r = indices[i];
-    ZKG_CHECK(r >= 0 && r < rows) << " gather_rows index " << r
-                                  << " out of range [0, " << rows << ")";
+    ZKG_REQUIRE_INDEX(r, rows, "gather_rows");
     std::copy(a.data() + r * stride, a.data() + (r + 1) * stride,
               out.data() + static_cast<std::int64_t>(i) * stride);
   }
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& indices) {
+  ZKG_REQUIRE(a.ndim() >= 1) << " gather_rows on rank-0 tensor";
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<std::int64_t>(indices.size());
+  Tensor out(std::move(out_shape));  // pre-sized: see binary_op
+  gather_rows_into(out, a, indices);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "tensor/pool.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "obs/telemetry.hpp"
@@ -11,7 +13,7 @@ BufferPool& BufferPool::global() {
   // Publish pool health into the telemetry registry lazily (providers run at
   // export time, so the acquire/release hot path stays untouched). obs cannot
   // depend on tensor, hence the provider lives here rather than in src/obs.
-  static const bool gauges_registered = [] {
+  [[maybe_unused]] static const bool gauges_registered = [] {
     obs::Telemetry::global().add_gauge_provider([](obs::Telemetry& t) {
       const PoolStats s = BufferPool::global().stats();
       t.gauge("pool.hits").set(static_cast<double>(s.hits));
@@ -25,7 +27,6 @@ BufferPool& BufferPool::global() {
     });
     return true;
   }();
-  (void)gauges_registered;
   return pool;
 }
 
@@ -35,9 +36,30 @@ std::size_t BufferPool::bucket_for(std::size_t numel) {
   return bucket;
 }
 
+namespace {
+// A quiet NaN with a recognisable payload; reads propagate NaN into the
+// checked-math tripwires, and the exact bit pattern lets acquire() tell
+// "stale but untouched" from "written after release".
+constexpr std::uint32_t kPoisonBits = 0x7fc0deadu;
+}  // namespace
+
+float BufferPool::poison_value() {
+  float value;
+  static_assert(sizeof(value) == sizeof(kPoisonBits));
+  std::memcpy(&value, &kPoisonBits, sizeof(value));
+  return value;
+}
+
+bool BufferPool::is_poison(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits == kPoisonBits;
+}
+
 std::vector<float> BufferPool::acquire(std::size_t numel) {
   const std::size_t bucket = bucket_for(numel);
   std::vector<float> buffer;
+  bool recycled = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = free_.find(bucket);
@@ -48,9 +70,24 @@ std::vector<float> BufferPool::acquire(std::size_t numel) {
       stats_.bytes_recycled += bucket * sizeof(float);
       stats_.free_buffers -= 1;
       stats_.free_bytes -= buffer.capacity() * sizeof(float);
+      if (ZKG_CHECKED_ENABLED) {
+        released_.erase(buffer.data());
+        recycled = true;
+      }
     } else {
       ++stats_.misses;
       stats_.bytes_allocated += bucket * sizeof(float);
+    }
+  }
+  if (ZKG_CHECKED_ENABLED && recycled) {
+    // The buffer left release() fully poisoned; any broken element means
+    // someone kept a pointer into it and wrote through it while the pool
+    // owned the storage.
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      ZKG_REQUIRE(is_poison(buffer[i]))
+          << " BufferPool: pooled buffer written after release "
+          << "(use-after-release detected at element " << i << " of "
+          << buffer.size() << ", value " << buffer[i] << ")";
     }
   }
   if (buffer.capacity() < bucket) buffer.reserve(bucket);
@@ -65,7 +102,18 @@ void BufferPool::release(std::vector<float>&& buffer) {
   // never hands out a buffer that would have to realloc.
   std::size_t bucket = kMinBucket;
   while (bucket * 2 <= capacity) bucket <<= 1;
+  if (ZKG_CHECKED_ENABLED) {
+    // Poison the whole capacity (not just size()) so every byte the pool
+    // may hand out again is covered by the integrity scan in acquire().
+    buffer.resize(capacity);
+    std::fill(buffer.begin(), buffer.end(), poison_value());
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  if (ZKG_CHECKED_ENABLED) {
+    ZKG_REQUIRE(released_.insert(buffer.data()).second)
+        << " BufferPool: buffer released to the pool twice (double-release "
+        << "of " << static_cast<const void*>(buffer.data()) << ")";
+  }
   stats_.free_buffers += 1;
   stats_.free_bytes += capacity * sizeof(float);
   free_[bucket].push_back(std::move(buffer));
@@ -88,6 +136,7 @@ void BufferPool::reset_stats() {
 void BufferPool::trim() {
   std::lock_guard<std::mutex> lock(mutex_);
   free_.clear();
+  released_.clear();  // the tracked pointers die with their buffers
   stats_.free_buffers = 0;
   stats_.free_bytes = 0;
 }
@@ -112,7 +161,8 @@ Workspace::~Workspace() {
 }
 
 Tensor& Workspace::get(const Shape& shape) {
-  tensors_.emplace_back(shape, pool_.acquire(static_cast<std::size_t>(shape_numel(shape))));
+  tensors_.emplace_back(
+      shape, pool_.acquire(static_cast<std::size_t>(shape_numel(shape))));
   return tensors_.back();
 }
 

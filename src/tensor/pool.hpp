@@ -27,6 +27,7 @@
 #include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -44,7 +45,8 @@ struct PoolStats {
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
   }
 };
 
@@ -80,10 +82,23 @@ class BufferPool {
   /// Frees every buffer on the free list (counters are kept).
   void trim();
 
+  /// ZKG_CHECKED poisoning: release() fills returned buffers with this
+  /// quiet-NaN bit pattern and acquire() verifies it is intact, so a write
+  /// through a pointer that outlived its release trips a formatted error
+  /// (and any *read* of recycled-but-uninitialised storage propagates NaN
+  /// into the checked-math tripwires). In release builds neither side runs.
+  static float poison_value();
+  /// True when `value` carries the exact poison bit pattern (bit compare,
+  /// not float compare: the pattern is a NaN).
+  static bool is_poison(float value);
+
  private:
   mutable std::mutex mutex_;
   // bucket capacity -> free buffers of at least that capacity
   std::unordered_map<std::size_t, std::vector<std::vector<float>>> free_;
+  // ZKG_CHECKED only: data pointers currently on the free list, to diagnose
+  // a buffer being released twice. Unused (and empty) in release builds.
+  std::unordered_set<const float*> released_;
   PoolStats stats_;
 };
 
@@ -92,7 +107,8 @@ class BufferPool {
 /// capacity suffices, and a pool release+acquire only on real growth.
 /// Newly exposed elements have unspecified contents — callers that need
 /// zeros must fill explicitly (the `_into` kernels do).
-void ensure_shape(Tensor& t, const Shape& shape, BufferPool& pool = BufferPool::global());
+void ensure_shape(Tensor& t, const Shape& shape,
+                  BufferPool& pool = BufferPool::global());
 
 /// Scoped set of pool-backed tensors. get()/zeros() acquire storage now;
 /// scratch() hands out an empty tensor that downstream ensure_shape calls

@@ -1,5 +1,7 @@
 #include "tensor/random.hpp"
 
+#include "tensor/contracts.hpp"
+
 namespace zkg {
 
 Tensor randn(Shape shape, Rng& rng, float mean, float stddev) {
@@ -31,7 +33,7 @@ Tensor dropout_mask(Shape shape, Rng& rng, float keep_prob) {
 }
 
 void fill_dropout_mask(Tensor& mask, Rng& rng, float keep_prob) {
-  ZKG_CHECK(keep_prob > 0.0f && keep_prob <= 1.0f)
+  ZKG_REQUIRE(keep_prob > 0.0f && keep_prob <= 1.0f)
       << " keep_prob " << keep_prob << " outside (0, 1]";
   const float scale = 1.0f / keep_prob;
   float* p = mask.data();

@@ -68,7 +68,9 @@ void write_tensors(std::ostream& out, const std::vector<Tensor>& tensors) {
 
 std::vector<Tensor> read_tensors(std::istream& in) {
   const auto count = read_pod<std::uint64_t>(in);
-  if (count > (1ull << 20)) throw SerializationError("implausible tensor count");
+  if (count > (1ull << 20)) {
+    throw SerializationError("implausible tensor count");
+  }
   std::vector<Tensor> tensors;
   tensors.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) tensors.push_back(read_tensor(in));

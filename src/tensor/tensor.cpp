@@ -3,12 +3,15 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/contracts.hpp"
+
 namespace zkg {
 
 std::int64_t shape_numel(const Shape& shape) {
   std::int64_t count = 1;
   for (const std::int64_t d : shape) {
-    ZKG_CHECK(d >= 0) << " (negative dimension in " << shape_to_string(shape) << ")";
+    ZKG_REQUIRE(d >= 0) << " (negative dimension in " << shape_to_string(shape)
+                        << ")";
     count *= d;
   }
   return count;
@@ -31,7 +34,7 @@ Tensor::Tensor(Shape shape, float fill)
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  ZKG_CHECK(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_))
+  ZKG_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_))
       << " buffer has " << data_.size() << " elements, shape "
       << shape_to_string(shape_) << " wants " << shape_numel(shape_);
 }
@@ -44,57 +47,63 @@ Tensor Tensor::vector(std::initializer_list<float> values) {
 std::int64_t Tensor::dim(std::int64_t i) const {
   const std::int64_t n = ndim();
   if (i < 0) i += n;
-  ZKG_CHECK(i >= 0 && i < n) << " axis " << i << " out of range for "
-                             << shape_to_string(shape_);
+  ZKG_REQUIRE_INDEX(i, n, "dim") << " (axes of " << shape_to_string(shape_)
+                                 << ")";
   return shape_[static_cast<std::size_t>(i)];
 }
 
-namespace {
-
-inline std::int64_t flatten2(const Shape& s, std::int64_t i, std::int64_t j) {
-  return i * s[1] + j;
+std::int64_t Tensor::flat_offset(std::initializer_list<std::int64_t> indices,
+                                 const char* op) const {
+  ZKG_REQUIRE(ndim() == static_cast<std::int64_t>(indices.size()))
+      << " " << op << " on " << shape_to_string(shape_);
+  std::int64_t offset = 0;
+  std::size_t axis = 0;
+  for (const std::int64_t index : indices) {
+    ZKG_DCHECK(index >= 0 && index < shape_[axis])
+        << " " << op << ": index " << index << " out of range [0, "
+        << shape_[axis] << ") on axis " << axis << " of "
+        << shape_to_string(shape_);
+    offset = offset * shape_[axis] + index;
+    ++axis;
+  }
+  return offset;
 }
 
-}  // namespace
-
 float& Tensor::at(std::int64_t i) {
-  ZKG_CHECK(ndim() == 1) << " at(i) on " << shape_to_string(shape_);
-  return data_[static_cast<std::size_t>(i)];
+  return data_[static_cast<std::size_t>(flat_offset({i}, "at(i)"))];
 }
 
 float& Tensor::at(std::int64_t i, std::int64_t j) {
-  ZKG_CHECK(ndim() == 2) << " at(i,j) on " << shape_to_string(shape_);
-  return data_[static_cast<std::size_t>(flatten2(shape_, i, j))];
+  return data_[static_cast<std::size_t>(flat_offset({i, j}, "at(i,j)"))];
 }
 
 float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
-  ZKG_CHECK(ndim() == 3) << " at(i,j,k) on " << shape_to_string(shape_);
-  return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  return data_[static_cast<std::size_t>(flat_offset({i, j, k}, "at(i,j,k)"))];
 }
 
 float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
                   std::int64_t l) {
-  ZKG_CHECK(ndim() == 4) << " at(i,j,k,l) on " << shape_to_string(shape_);
   return data_[static_cast<std::size_t>(
-      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+      flat_offset({i, j, k, l}, "at(i,j,k,l)"))];
 }
 
 float Tensor::at(std::int64_t i) const {
-  return const_cast<Tensor*>(this)->at(i);
+  return data_[static_cast<std::size_t>(flat_offset({i}, "at(i)"))];
 }
 float Tensor::at(std::int64_t i, std::int64_t j) const {
-  return const_cast<Tensor*>(this)->at(i, j);
+  return data_[static_cast<std::size_t>(flat_offset({i, j}, "at(i,j)"))];
 }
 float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
-  return const_cast<Tensor*>(this)->at(i, j, k);
+  return data_[static_cast<std::size_t>(flat_offset({i, j, k}, "at(i,j,k)"))];
 }
 float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
                  std::int64_t l) const {
-  return const_cast<Tensor*>(this)->at(i, j, k, l);
+  return data_[static_cast<std::size_t>(
+      flat_offset({i, j, k, l}, "at(i,j,k,l)"))];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
-  ZKG_CHECK(shape_numel(new_shape) == numel())
+  ZKG_REQUIRE(shape_numel(new_shape) == numel())
       << " cannot reshape " << shape_to_string(shape_) << " ("
       << numel() << " elements) to " << shape_to_string(new_shape);
   Tensor out;
@@ -104,7 +113,7 @@ Tensor Tensor::reshape(Shape new_shape) const {
 }
 
 std::int64_t Tensor::row_stride() const {
-  ZKG_CHECK(ndim() >= 1) << " row operation on rank-0 tensor";
+  ZKG_REQUIRE(ndim() >= 1) << " row operation on rank-0 tensor";
   std::int64_t stride = 1;
   for (std::size_t i = 1; i < shape_.size(); ++i) stride *= shape_[i];
   return stride;
@@ -112,7 +121,7 @@ std::int64_t Tensor::row_stride() const {
 
 Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
   const std::int64_t rows = dim(0);
-  ZKG_CHECK(begin >= 0 && begin <= end && end <= rows)
+  ZKG_REQUIRE(begin >= 0 && begin <= end && end <= rows)
       << " slice [" << begin << ", " << end << ") of " << rows << " rows";
   const std::int64_t stride = row_stride();
   Shape out_shape = shape_;
@@ -125,13 +134,13 @@ Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
 
 void Tensor::assign_rows(std::int64_t row, const Tensor& source) {
   const std::int64_t stride = row_stride();
-  ZKG_CHECK(source.ndim() == ndim())
+  ZKG_REQUIRE(source.ndim() == ndim())
       << " assign_rows rank mismatch: " << shape_to_string(shape_) << " vs "
       << shape_to_string(source.shape_);
-  ZKG_CHECK(source.row_stride() == stride)
+  ZKG_REQUIRE(source.row_stride() == stride)
       << " assign_rows inner-shape mismatch";
   const std::int64_t source_rows = source.dim(0);
-  ZKG_CHECK(row >= 0 && row + source_rows <= dim(0))
+  ZKG_REQUIRE(row >= 0 && row + source_rows <= dim(0))
       << " assign_rows [" << row << ", " << row + source_rows << ") of "
       << dim(0) << " rows";
   std::copy(source.data_.begin(), source.data_.end(),
@@ -168,9 +177,7 @@ std::string Tensor::to_string(std::int64_t max_elements) const {
 }
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op_name) {
-  ZKG_CHECK(a.shape() == b.shape())
-      << " " << op_name << ": shape mismatch " << shape_to_string(a.shape())
-      << " vs " << shape_to_string(b.shape());
+  ZKG_REQUIRE_SAME_SHAPE(a, b, op_name);
 }
 
 }  // namespace zkg

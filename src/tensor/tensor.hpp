@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/error.hpp"
 
 namespace zkg {
@@ -55,11 +56,25 @@ class Tensor {
   std::vector<float>& storage() { return data_; }
   const std::vector<float>& storage() const { return data_; }
 
-  float& operator[](std::int64_t flat_index) { return data_[static_cast<std::size_t>(flat_index)]; }
-  float operator[](std::int64_t flat_index) const { return data_[static_cast<std::size_t>(flat_index)]; }
+  /// Flat element access. Unchecked in release builds (this is the hot-loop
+  /// accessor); ZKG_CHECKED builds bounds-check every access.
+  float& operator[](std::int64_t flat_index) {
+    ZKG_DCHECK(flat_index >= 0 && flat_index < numel())
+        << " flat index " << flat_index << " out of range [0, " << numel()
+        << ") for " << shape_to_string(shape_);
+    return data_[static_cast<std::size_t>(flat_index)];
+  }
+  float operator[](std::int64_t flat_index) const {
+    ZKG_DCHECK(flat_index >= 0 && flat_index < numel())
+        << " flat index " << flat_index << " out of range [0, " << numel()
+        << ") for " << shape_to_string(shape_);
+    return data_[static_cast<std::size_t>(flat_index)];
+  }
 
-  /// Multi-dimensional element access with bounds checking in debug-ish
-  /// spirit: shape arity is always validated.
+  /// Multi-dimensional element access. Shape arity is always validated;
+  /// ZKG_CHECKED builds additionally bounds-check every index against its
+  /// axis extent (both const and non-const paths share one checked
+  /// indexer, flat_offset).
   float& at(std::int64_t i);
   float& at(std::int64_t i, std::int64_t j);
   float& at(std::int64_t i, std::int64_t j, std::int64_t k);
@@ -67,7 +82,8 @@ class Tensor {
   float at(std::int64_t i) const;
   float at(std::int64_t i, std::int64_t j) const;
   float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
-  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+  float at(std::int64_t i, std::int64_t j, std::int64_t k,
+           std::int64_t l) const;
 
   /// Same data, new shape (element counts must match).
   Tensor reshape(Shape new_shape) const;
@@ -89,6 +105,12 @@ class Tensor {
 
  private:
   std::int64_t row_stride() const;
+
+  /// The one checked indexer behind every at() overload: validates rank
+  /// (always) and per-axis bounds (ZKG_CHECKED builds), then returns the
+  /// flat row-major offset.
+  std::int64_t flat_offset(std::initializer_list<std::int64_t> indices,
+                           const char* op) const;
 
   Shape shape_;
   std::vector<float> data_;

@@ -220,6 +220,55 @@ TEST(Ops, GatherRows) {
   EXPECT_THROW(gather_rows(a, {3}), InvalidArgument);
 }
 
+TEST(Ops, IntoFormsMatchValueForms) {
+  const Tensor a({2, 3}, std::vector<float>{1, 5, 2, -1, 0.25f, -3});
+  const Tensor b({2, 3}, std::vector<float>{2, 2, 2, 4, 4, 4});
+  Tensor out;  // reused across every call below
+  div_into(out, a, b);
+  EXPECT_TRUE(out.equals(div(a, b)));
+  add_into(out, a, 1.5f);
+  EXPECT_TRUE(out.equals(add(a, 1.5f)));
+  mul_into(out, a, -2.0f);
+  EXPECT_TRUE(out.equals(mul(a, -2.0f)));
+  neg_into(out, a);
+  EXPECT_TRUE(out.equals(neg(a)));
+  abs_into(out, a);
+  EXPECT_TRUE(out.equals(abs(a)));
+  sign_into(out, a);
+  EXPECT_TRUE(out.equals(sign(a)));
+  clamp_into(out, a, -1.0f, 1.0f);
+  EXPECT_TRUE(out.equals(clamp(a, -1.0f, 1.0f)));
+  exp_into(out, a);
+  EXPECT_TRUE(out.equals(exp(a)));
+  square_into(out, a);
+  EXPECT_TRUE(out.equals(square(a)));
+  const Tensor pos = abs(a);
+  log_into(out, pos);
+  EXPECT_TRUE(out.equals(log(pos)));
+  sqrt_into(out, pos);
+  EXPECT_TRUE(out.equals(sqrt(pos)));
+  row_sum_into(out, a);
+  EXPECT_TRUE(out.equals(row_sum(a)));
+  row_max_into(out, a);
+  EXPECT_TRUE(out.equals(row_max(a)));
+  one_hot_into(out, {2, 0}, 3);
+  EXPECT_TRUE(out.equals(one_hot({2, 0}, 3)));
+  gather_rows_into(out, a, {1, 1, 0});
+  EXPECT_TRUE(out.equals(gather_rows(a, {1, 1, 0})));
+}
+
+TEST(Ops, IntoFormsRejectAliasedDestination) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_THROW(row_sum_into(a, a), InvalidArgument);
+  EXPECT_THROW(gather_rows_into(a, a, {0}), InvalidArgument);
+}
+
+TEST(Ops, OneHotIntoOverwritesStaleDestination) {
+  Tensor out({2, 3}, 7.0f);  // right shape, stale contents
+  one_hot_into(out, {1, 2}, 3);
+  EXPECT_TRUE(out.equals(Tensor({2, 3}, std::vector<float>{0, 1, 0, 0, 0, 1})));
+}
+
 TEST(Random, NormalMoments) {
   Rng rng(7);
   const Tensor t = randn({10000}, rng, 2.0f, 3.0f);
