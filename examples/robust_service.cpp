@@ -1,12 +1,17 @@
-// Robust inference service: the deployment story. Trains a defended model,
-// checkpoints it to disk, reloads it in a fresh "serving" process image, and
-// uses the ZK-GanDef discriminator as a runtime perturbation alarm on
-// incoming requests — the operational pattern the paper's intro motivates
-// for security-sensitive classifiers (spam filtering, face recognition).
+// Robust inference service: the deployment story. Trains a defended model
+// fault-tolerantly (crash-safe train checkpoints, graceful Ctrl-C, NaN
+// rollback — DESIGN.md §11), checkpoints the weights to disk, reloads them
+// in a fresh "serving" process image, and uses the ZK-GanDef discriminator
+// as a runtime perturbation alarm on incoming requests — the operational
+// pattern the paper's intro motivates for security-sensitive classifiers
+// (spam filtering, face recognition).
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 
 #include "attacks/pgd.hpp"
+#include "ckpt/io.hpp"
+#include "ckpt/signal.hpp"
 #include "common/rng.hpp"
 #include "data/preprocess.hpp"
 #include "defense/zk_gandef.hpp"
@@ -16,21 +21,41 @@
 int main() {
   using namespace zkg;
   const std::string checkpoint = "/tmp/zkg_robust_service.ckpt";
+  const std::string train_ckpt_dir = "/tmp/zkg_robust_service_ckpts";
 
   Rng rng(11);
   data::Dataset raw = data::make_synth_digits(1400, rng);
   const data::Dataset scaled = data::scale_pixels(raw);
   const data::TrainTestSplit split = data::separate(scaled, 200, rng);
 
-  // ---- Training side ----
+  // ---- Training side, fault tolerant ----
+  // Every epoch a crash-safe .zkgc snapshot lands in train_ckpt_dir; a
+  // SIGINT/SIGTERM stops at the next batch boundary with a final snapshot;
+  // a previous interrupted run resumes from its newest snapshot,
+  // bit-identical to never having stopped. A non-finite loss rolls back to
+  // the last good batch instead of aborting 18 epochs of work.
+  ckpt::install_signal_handlers();
   defense::TrainConfig config;
   config.epochs = 18;
   config.batch_size = 64;
   config.gamma = 0.05f;
+  config.checkpoint.dir = train_ckpt_dir;
+  if (!ckpt::latest_checkpoint(train_ckpt_dir).empty()) {
+    config.resume_from = train_ckpt_dir;
+    std::cout << "resuming from " << train_ckpt_dir << "\n";
+  }
+  config.rollback.max_retries = 3;
+  config.rollback.lr_decay = 0.5f;
   models::Classifier trained = models::build_lenet(
       models::InputSpec{1, 28, 28, 10}, models::Preset::kBench, rng);
   defense::ZkGanDefTrainer trainer(trained, config);
-  trainer.fit(split.train);
+  const defense::TrainResult fit_result = trainer.fit(split.train);
+  if (fit_result.interrupted) {
+    std::cout << "interrupted at a batch boundary; snapshot saved — rerun "
+                 "to resume from "
+              << train_ckpt_dir << "\n";
+    return 0;
+  }
   trained.save(checkpoint);
   std::cout << "checkpoint written to " << checkpoint << "\n";
 
@@ -83,5 +108,6 @@ int main() {
             << attacked_score << "\n";
 
   std::remove(checkpoint.c_str());
+  std::filesystem::remove_all(train_ckpt_dir);
   return 0;
 }

@@ -44,6 +44,11 @@ class Attack {
                              Tensor& adv) {
     adv = generate(model, images, labels);
   }
+
+  /// Appends the attack's internal random streams (PGD random starts, ...)
+  /// so training checkpoints can capture and restore them; deterministic
+  /// attacks append nothing.
+  virtual void collect_rngs([[maybe_unused]] std::vector<Rng*>& out) {}
 };
 
 using AttackPtr = std::unique_ptr<Attack>;

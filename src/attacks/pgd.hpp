@@ -18,6 +18,7 @@ class Pgd : public Attack {
   void generate_into(models::Classifier& model, const Tensor& images,
                      const std::vector<std::int64_t>& labels,
                      Tensor& adv) override;
+  void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
 
   const AttackBudget& budget() const { return budget_; }
 

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) for checkpoint
+// section integrity. A checkpoint section whose stored CRC disagrees with
+// the recomputed one is rejected as corrupted instead of being deserialized
+// into garbage tensors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace zkg::ckpt {
+
+/// CRC of `size` bytes. Pass a previous result as `seed` to checksum a
+/// stream incrementally; the default seed starts a fresh checksum.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::string& bytes,
+                           std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace zkg::ckpt

@@ -1,0 +1,60 @@
+// Crash-safe checkpoint file IO (DESIGN.md §11).
+//
+// The durability contract: a kill -9 (or power loss, modulo disk cache) at
+// ANY instant leaves the newest previously-published checkpoint intact.
+// atomic_write_file() never touches the destination path directly — bytes
+// land in `<path>.tmp`, are fsync()ed, and an atomic rename() publishes
+// them; a crash mid-write leaves only a stray .tmp that rotation sweeps up.
+//
+// File naming groups a training run's checkpoints in one directory as
+// `zkg-ckpt-e<epoch>-b<batch>.zkgc`, zero-padded so lexicographic order is
+// training order; rotate_checkpoints() keeps the newest K.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zkg::ckpt {
+
+/// Cadence and retention of automatic checkpointing. A default-constructed
+/// config (empty `dir`) disables it.
+struct CheckpointConfig {
+  std::string dir;                  // empty = auto-checkpointing off
+  std::int64_t every_batches = 0;   // 0 = no batch-cadence checkpoints
+  std::int64_t every_epochs = 1;    // 0 = no epoch-cadence checkpoints
+  std::int64_t keep_last = 3;       // rotation depth (>= 1)
+};
+
+/// Overlays the ZKG_CKPT_* environment flags onto `base`: ZKG_CKPT_DIR,
+/// ZKG_CKPT_EVERY_BATCHES, ZKG_CKPT_EVERY_EPOCHS, ZKG_CKPT_KEEP. Unset
+/// variables leave the corresponding field untouched, so programmatic
+/// config and env control compose.
+CheckpointConfig checkpoint_config_from_env(CheckpointConfig base = {});
+
+/// Writes `payload` to `path` crash-safely: tmp file + fsync + atomic
+/// rename + directory fsync. Creates missing parent directories. Throws
+/// zkg::SerializationError on any IO failure.
+///
+/// Test-only fault injection: when ZKG_CKPT_TEST_CRASH_WRITE=<n> is set,
+/// the n-th atomic write of the process raises SIGKILL after writing half
+/// the payload to the tmp file — the fault-injection harness uses this to
+/// prove a mid-checkpoint crash cannot corrupt the published files.
+void atomic_write_file(const std::string& path, const std::string& payload);
+
+/// Canonical checkpoint filename inside `dir` for a (epoch, batch) cursor.
+std::string checkpoint_path(const std::string& dir, std::int64_t epoch,
+                            std::int64_t batch);
+
+/// All published checkpoints in `dir` (absolute paths), sorted oldest to
+/// newest. Ignores .tmp leftovers and unrelated files.
+std::vector<std::string> list_checkpoints(const std::string& dir);
+
+/// Newest published checkpoint path, or "" when the directory holds none.
+std::string latest_checkpoint(const std::string& dir);
+
+/// Deletes all but the newest `keep_last` checkpoints, plus any stale .tmp
+/// partial writes left behind by a crash.
+void rotate_checkpoints(const std::string& dir, std::int64_t keep_last);
+
+}  // namespace zkg::ckpt

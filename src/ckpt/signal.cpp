@@ -1,0 +1,29 @@
+#include "ckpt/signal.hpp"
+
+#include <csignal>
+
+namespace zkg::ckpt {
+namespace {
+
+// The only object an async signal handler may write (C++ [support.signal]).
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void zkg_stop_handler(int /*signum*/) { g_stop = 1; }
+
+}  // namespace
+
+void install_signal_handlers() {
+  [[maybe_unused]] static const bool installed = [] {
+    std::signal(SIGINT, zkg_stop_handler);
+    std::signal(SIGTERM, zkg_stop_handler);
+    return true;
+  }();
+}
+
+bool stop_requested() { return g_stop != 0; }
+
+void request_stop() { g_stop = 1; }
+
+void clear_stop() { g_stop = 0; }
+
+}  // namespace zkg::ckpt

@@ -1,0 +1,424 @@
+#include "ckpt/train_state.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/crc32.hpp"
+#include "ckpt/io.hpp"
+#include "common/error.hpp"
+#include "tensor/serialize.hpp"
+
+namespace zkg::ckpt {
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'K', 'G', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 40;
+
+constexpr std::uint32_t fourcc(const char (&tag)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(tag[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(tag[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(tag[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(tag[3])) << 24;
+}
+
+constexpr std::uint32_t kMeta = fourcc("META");
+constexpr std::uint32_t kModl = fourcc("MODL");
+constexpr std::uint32_t kOpts = fourcc("OPTS");
+constexpr std::uint32_t kRngs = fourcc("RNGS");
+constexpr std::uint32_t kBatc = fourcc("BATC");
+constexpr std::uint32_t kXtra = fourcc("XTRA");
+
+std::string tag_name(std::uint32_t tag) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    name[static_cast<std::size_t>(i)] = (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return name;
+}
+
+[[noreturn]] void fail(const std::string& detail) {
+  throw SerializationError("ZKGC checkpoint: " + detail);
+}
+
+template <typename T>
+void put_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_pod(out, static_cast<std::uint64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+// Section payload reader with bounds-checked primitives; `offset` is
+// absolute within the checkpoint file so error messages point at the file.
+class Reader {
+ public:
+  Reader(const std::string& bytes, std::uint64_t base, std::uint64_t size,
+         std::uint32_t tag)
+      : bytes_(bytes), base_(base), end_(base + size), pos_(base), tag_(tag) {}
+
+  template <typename T>
+  T pod(const char* what) {
+    need(sizeof(T), what);
+    T value{};
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string string(const char* what) {
+    const auto n = pod<std::uint64_t>(what);
+    if (n > kMaxSectionBytes) {
+      fail_here("implausible string length " + std::to_string(n), what);
+    }
+    need(n, what);
+    std::string s(bytes_.data() + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<Tensor> tensors(const char* what) {
+    // Delegate to the hardened ZKGT reader on the remaining payload span.
+    std::istringstream in(bytes_.substr(pos_, end_ - pos_));
+    std::vector<Tensor> result;
+    try {
+      result = read_tensors(in);
+    } catch (const SerializationError& e) {
+      fail_here(e.what(), what);
+    }
+    in.clear();  // a read that hit exactly EOF would make tellg() return -1
+    pos_ += static_cast<std::uint64_t>(in.tellg());
+    return result;
+  }
+
+  std::uint64_t count(const char* what, std::uint64_t limit) {
+    const auto n = pod<std::uint64_t>(what);
+    if (n > limit) {
+      fail_here("implausible count " + std::to_string(n), what);
+    }
+    return n;
+  }
+
+  void expect_consumed() const {
+    if (pos_ != end_) {
+      fail_here(std::to_string(end_ - pos_) + " trailing bytes", "payload");
+    }
+  }
+
+ private:
+  void need(std::uint64_t n, const char* what) const {
+    if (end_ - pos_ < n) {
+      fail_here("truncated: need " + std::to_string(n) + " bytes, have " +
+                    std::to_string(end_ - pos_),
+                what);
+    }
+  }
+
+  [[noreturn]] void fail_here(const std::string& detail,
+                              const char* what) const {
+    fail("section '" + tag_name(tag_) + "', " + what + " at byte " +
+         std::to_string(pos_) + ": " + detail);
+  }
+
+  const std::string& bytes_;
+  [[maybe_unused]] std::uint64_t base_;
+  std::uint64_t end_;
+  std::uint64_t pos_;
+  std::uint32_t tag_;
+};
+
+void append_section(std::string& out, std::uint32_t tag,
+                    const std::string& payload) {
+  std::ostringstream header;
+  put_pod(header, tag);
+  put_pod(header, static_cast<std::uint64_t>(payload.size()));
+  out += header.str();
+  out += payload;
+  std::ostringstream footer;
+  put_pod(footer, crc32(payload));
+  out += footer.str();
+}
+
+std::string encode_tensors(const std::vector<Tensor>& tensors) {
+  std::ostringstream out;
+  write_tensors(out, tensors);
+  return out.str();
+}
+
+}  // namespace
+
+std::int64_t TrainState::counter_or(const std::string& name,
+                                    std::int64_t fallback) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+const std::string& TrainState::rng_stream(const std::string& name) const {
+  for (const auto& [key, value] : rng_streams) {
+    if (key == name) return value;
+  }
+  fail("missing RNG stream '" + name + "' (checkpoint from an older layout?)");
+}
+
+const std::vector<Tensor>& TrainState::tensor_group(
+    const std::string& name) const {
+  for (const auto& [key, value] : extra_tensors) {
+    if (key == name) return value;
+  }
+  fail("missing tensor group '" + name + "'");
+}
+
+std::string encode_train_state(const TrainState& state) {
+  std::string out;
+  {
+    std::ostringstream header;
+    header.write(kMagic, sizeof(kMagic));
+    put_pod(header, kVersion);
+    const std::uint32_t sections = state.has_batcher ? 6 : 5;
+    put_pod(header, sections);
+    out += header.str();
+  }
+  {
+    std::ostringstream meta;
+    put_string(meta, state.defense);
+    put_pod(meta, state.seed);
+    put_pod(meta, state.epoch);
+    put_pod(meta, state.batch);
+    put_pod(meta, state.loss_sum);
+    put_pod(meta, state.disc_sum);
+    put_pod(meta, static_cast<std::uint64_t>(state.completed_epochs.size()));
+    for (const EpochRecord& e : state.completed_epochs) {
+      put_pod(meta, e.epoch);
+      put_pod(meta, e.classifier_loss);
+      put_pod(meta, e.discriminator_loss);
+      put_pod(meta, e.seconds);
+      put_pod(meta, e.batches);
+    }
+    put_pod(meta, static_cast<std::uint64_t>(state.counters.size()));
+    for (const auto& [name, value] : state.counters) {
+      put_string(meta, name);
+      put_pod(meta, value);
+    }
+    append_section(out, kMeta, meta.str());
+  }
+  append_section(out, kModl, encode_tensors(state.model_params));
+  {
+    std::ostringstream opts;
+    put_pod(opts, static_cast<std::uint64_t>(state.optimizers.size()));
+    std::string payload = opts.str();
+    for (const optim::OptimizerState& o : state.optimizers) {
+      std::ostringstream one;
+      put_string(one, o.kind);
+      put_pod(one, o.step_count);
+      put_pod(one, o.learning_rate);
+      payload += one.str();
+      payload += encode_tensors(o.slots);
+    }
+    append_section(out, kOpts, payload);
+  }
+  {
+    std::ostringstream rngs;
+    put_pod(rngs, static_cast<std::uint64_t>(state.rng_streams.size()));
+    for (const auto& [name, stream] : state.rng_streams) {
+      put_string(rngs, name);
+      put_string(rngs, stream);
+    }
+    append_section(out, kRngs, rngs.str());
+  }
+  if (state.has_batcher) {
+    std::ostringstream batc;
+    put_string(batc, state.batcher.rng);
+    put_pod(batc, state.batcher.cursor);
+    put_pod(batc, static_cast<std::uint64_t>(state.batcher.order.size()));
+    for (const std::int64_t i : state.batcher.order) put_pod(batc, i);
+    append_section(out, kBatc, batc.str());
+  }
+  {
+    std::string payload;
+    std::ostringstream count;
+    put_pod(count, static_cast<std::uint64_t>(state.extra_tensors.size()));
+    payload += count.str();
+    for (const auto& [name, tensors] : state.extra_tensors) {
+      std::ostringstream one;
+      put_string(one, name);
+      payload += one.str();
+      payload += encode_tensors(tensors);
+    }
+    append_section(out, kXtra, payload);
+  }
+  return out;
+}
+
+TrainState decode_train_state(const std::string& bytes) {
+  if (bytes.size() < 12) {
+    fail("truncated header: " + std::to_string(bytes.size()) +
+         " bytes, need 12");
+  }
+  if (bytes.compare(0, 4, kMagic, 4) != 0) {
+    fail("bad magic: expected \"ZKGC\", got \"" + bytes.substr(0, 4) + "\"");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, 4);
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version) + ", expected " +
+         std::to_string(kVersion));
+  }
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 8, 4);
+  if (section_count > 64) {
+    fail("implausible section count " + std::to_string(section_count));
+  }
+
+  TrainState state;
+  bool have_meta = false, have_modl = false;
+  std::uint64_t pos = 12;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    if (bytes.size() - pos < 12) {
+      fail("truncated section header at byte " + std::to_string(pos));
+    }
+    std::uint32_t tag = 0;
+    std::uint64_t size = 0;
+    std::memcpy(&tag, bytes.data() + pos, 4);
+    std::memcpy(&size, bytes.data() + pos + 4, 8);
+    pos += 12;
+    if (size > kMaxSectionBytes || bytes.size() - pos < size + 4) {
+      fail("section '" + tag_name(tag) + "' at byte " + std::to_string(pos) +
+           " claims " + std::to_string(size) + " bytes, file has " +
+           std::to_string(bytes.size() - pos) + " left");
+    }
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + pos + size, 4);
+    const std::uint32_t actual_crc = crc32(bytes.data() + pos, size);
+    if (stored_crc != actual_crc) {
+      std::ostringstream hex;
+      hex << std::hex << stored_crc << " vs computed " << std::hex
+          << actual_crc;
+      fail("section '" + tag_name(tag) + "' CRC mismatch at byte " +
+           std::to_string(pos) + ": stored " + hex.str());
+    }
+
+    Reader r(bytes, pos, size, tag);
+    if (tag == kMeta) {
+      have_meta = true;
+      state.defense = r.string("defense");
+      state.seed = r.pod<std::uint64_t>("seed");
+      state.epoch = r.pod<std::int64_t>("epoch");
+      state.batch = r.pod<std::int64_t>("batch");
+      state.loss_sum = r.pod<double>("loss_sum");
+      state.disc_sum = r.pod<double>("disc_sum");
+      const std::uint64_t epochs = r.count("epoch history", 1u << 24);
+      state.completed_epochs.resize(epochs);
+      for (EpochRecord& e : state.completed_epochs) {
+        e.epoch = r.pod<std::int64_t>("epoch record");
+        e.classifier_loss = r.pod<float>("epoch record");
+        e.discriminator_loss = r.pod<float>("epoch record");
+        e.seconds = r.pod<double>("epoch record");
+        e.batches = r.pod<std::int64_t>("epoch record");
+      }
+      const std::uint64_t counters = r.count("counters", 1u << 16);
+      state.counters.resize(counters);
+      for (auto& [name, value] : state.counters) {
+        name = r.string("counter name");
+        value = r.pod<std::int64_t>("counter value");
+      }
+      r.expect_consumed();
+    } else if (tag == kModl) {
+      have_modl = true;
+      state.model_params = r.tensors("model parameters");
+      r.expect_consumed();
+    } else if (tag == kOpts) {
+      const std::uint64_t count = r.count("optimizers", 64);
+      state.optimizers.resize(count);
+      for (optim::OptimizerState& o : state.optimizers) {
+        o.kind = r.string("optimizer kind");
+        o.step_count = r.pod<std::int64_t>("optimizer step count");
+        o.learning_rate = r.pod<float>("optimizer learning rate");
+        o.slots = r.tensors("optimizer slots");
+      }
+      r.expect_consumed();
+    } else if (tag == kRngs) {
+      const std::uint64_t count = r.count("rng streams", 1u << 16);
+      state.rng_streams.resize(count);
+      for (auto& [name, stream] : state.rng_streams) {
+        name = r.string("rng name");
+        stream = r.string("rng state");
+      }
+      r.expect_consumed();
+    } else if (tag == kBatc) {
+      state.has_batcher = true;
+      state.batcher.rng = r.string("batcher rng");
+      state.batcher.cursor = r.pod<std::int64_t>("batcher cursor");
+      const std::uint64_t count = r.count("batcher order",
+                                          std::uint64_t{1} << 32);
+      state.batcher.order.resize(count);
+      for (std::int64_t& i : state.batcher.order) {
+        i = r.pod<std::int64_t>("batcher order entry");
+      }
+      r.expect_consumed();
+    } else if (tag == kXtra) {
+      const std::uint64_t count = r.count("tensor groups", 1u << 10);
+      state.extra_tensors.resize(count);
+      for (auto& [name, tensors] : state.extra_tensors) {
+        name = r.string("tensor group name");
+        tensors = r.tensors("tensor group");
+      }
+      r.expect_consumed();
+    }
+    // Unknown tags are skipped (CRC already verified): room for forward-
+    // compatible additions without a version bump.
+    pos += size + 4;
+  }
+  if (!have_meta || !have_modl) {
+    fail("missing required section: META and MODL must both be present");
+  }
+  return state;
+}
+
+void save_train_state(const std::string& path, const TrainState& state) {
+  atomic_write_file(path, encode_train_state(state));
+}
+
+TrainState load_train_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open checkpoint " + path +
+                             " for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw SerializationError("cannot read checkpoint " + path);
+  }
+  try {
+    return decode_train_state(buffer.str());
+  } catch (const SerializationError& e) {
+    throw SerializationError(path + ": " + e.what());
+  }
+}
+
+TrainState load_resume_point(const std::string& path_or_dir) {
+  if (!std::filesystem::is_directory(path_or_dir)) {
+    return load_train_state(path_or_dir);
+  }
+  std::vector<std::string> candidates = list_checkpoints(path_or_dir);
+  std::string last_error = "no checkpoint files in " + path_or_dir;
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    try {
+      return load_train_state(*it);
+    } catch (const SerializationError& e) {
+      // A crash can leave the newest file unreadable; fall back in order.
+      last_error = e.what();
+    }
+  }
+  throw SerializationError("no resumable checkpoint in " + path_or_dir +
+                           " (last error: " + last_error + ")");
+}
+
+}  // namespace zkg::ckpt

@@ -1,6 +1,9 @@
 #include "common/rng.hpp"
 
 #include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
 
 namespace zkg {
 
@@ -29,6 +32,23 @@ std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
 bool Rng::bernoulli(float p) {
   std::bernoulli_distribution dist(p);
   return dist(engine_);
+}
+
+std::string Rng::state() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::set_state(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 engine;
+  in >> engine;
+  if (!in) {
+    throw SerializationError("Rng::set_state: malformed mt19937_64 state (" +
+                             std::to_string(state.size()) + " bytes)");
+  }
+  engine_ = engine;
 }
 
 std::vector<std::int64_t> Rng::permutation(std::int64_t n) {

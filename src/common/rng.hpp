@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace zkg {
@@ -43,6 +44,13 @@ class Rng {
 
   /// A random permutation of [0, n).
   std::vector<std::int64_t> permutation(std::int64_t n);
+
+  /// Serialized engine state as deterministic text; a stream restored with
+  /// set_state() continues bit-identically. Used by training checkpoints.
+  std::string state() const;
+  /// Restores a stream captured by state(). Throws zkg::SerializationError
+  /// when the text does not parse as an mt19937_64 state.
+  void set_state(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -46,4 +46,37 @@ std::int64_t Batcher::batches_per_epoch() const {
   return (total + batch_size_ - 1) / batch_size_;
 }
 
+BatcherState Batcher::state() const {
+  BatcherState state;
+  state.rng = rng_.state();
+  state.order = order_;
+  state.cursor = cursor_;
+  return state;
+}
+
+void Batcher::load_state(const BatcherState& state) {
+  const auto n = static_cast<std::int64_t>(order_.size());
+  if (static_cast<std::int64_t>(state.order.size()) != n) {
+    throw SerializationError(
+        "Batcher::load_state: permutation of " +
+        std::to_string(state.order.size()) + " entries for a dataset of " +
+        std::to_string(n));
+  }
+  for (const std::int64_t i : state.order) {
+    if (i < 0 || i >= n) {
+      throw SerializationError("Batcher::load_state: index " +
+                               std::to_string(i) + " outside dataset of " +
+                               std::to_string(n));
+    }
+  }
+  if (state.cursor < 0 || state.cursor > n) {
+    throw SerializationError("Batcher::load_state: cursor " +
+                             std::to_string(state.cursor) +
+                             " outside [0, " + std::to_string(n) + "]");
+  }
+  rng_.set_state(state.rng);
+  order_ = state.order;
+  cursor_ = state.cursor;
+}
+
 }  // namespace zkg::data

@@ -14,6 +14,15 @@ struct Batch {
   std::int64_t size() const { return images.dim(0); }
 };
 
+/// Mid-epoch iteration snapshot for training checkpoints: the shuffle
+/// stream, the current epoch's permutation and the read cursor. A Batcher
+/// restored from this yields the exact remaining batch sequence.
+struct BatcherState {
+  std::string rng;                   // Rng::state() text
+  std::vector<std::int64_t> order;   // this epoch's permutation
+  std::int64_t cursor = 0;           // next unread position in `order`
+};
+
 class Batcher {
  public:
   /// Holds a reference to `dataset`; the dataset must outlive the batcher.
@@ -30,6 +39,13 @@ class Batcher {
 
   std::int64_t batch_size() const { return batch_size_; }
   std::int64_t batches_per_epoch() const;
+
+  /// Snapshot / restore of the iteration state (checkpoint/resume). The
+  /// restored batcher must wrap the same dataset: load_state throws
+  /// zkg::SerializationError when the permutation length or an index does
+  /// not fit the dataset.
+  BatcherState state() const;
+  void load_state(const BatcherState& state);
 
  private:
   const Dataset& dataset_;

@@ -1,0 +1,55 @@
+#include "defense/checkpointing.hpp"
+
+#include "ckpt/train_state.hpp"
+#include "common/error.hpp"
+#include "obs/telemetry.hpp"
+
+namespace zkg::defense {
+
+CheckpointObserver::CheckpointObserver(ckpt::CheckpointConfig config)
+    : config_(std::move(config)) {
+  ZKG_REQUIRE(!config_.dir.empty())
+      << " CheckpointObserver needs a checkpoint directory";
+}
+
+void CheckpointObserver::save(const Trainer& trainer) {
+  ZKG_SPAN("ckpt.save");
+  const ckpt::TrainState state = trainer.capture_state();
+  const std::string path =
+      ckpt::checkpoint_path(config_.dir, state.epoch, state.batch);
+  if (path == last_path_) return;  // cursor unchanged since the last save
+  ckpt::save_train_state(path, state);
+  ckpt::rotate_checkpoints(config_.dir, config_.keep_last);
+  last_path_ = path;
+  ++saves_;
+  ZKG_COUNT("ckpt.saves", 1);
+}
+
+void CheckpointObserver::on_batch_end(const Trainer& trainer,
+                                      std::int64_t /*epoch*/,
+                                      std::int64_t batch,
+                                      const BatchStats& /*stats*/) {
+  if (config_.every_batches <= 0) return;
+  if ((batch + 1) % config_.every_batches != 0) return;
+  save(trainer);
+}
+
+void CheckpointObserver::on_epoch_end(const Trainer& trainer,
+                                      const EpochStats& stats) {
+  if (config_.every_epochs <= 0) return;
+  if ((stats.epoch + 1) % config_.every_epochs != 0) return;
+  save(trainer);
+}
+
+void CheckpointObserver::on_train_interrupted(const Trainer& trainer,
+                                              std::int64_t /*epoch*/,
+                                              std::int64_t /*batch*/) {
+  save(trainer);
+}
+
+void CheckpointObserver::on_train_end(const Trainer& trainer,
+                                      const TrainResult& /*result*/) {
+  save(trainer);
+}
+
+}  // namespace zkg::defense

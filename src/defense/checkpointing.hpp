@@ -1,0 +1,49 @@
+// CheckpointObserver: auto-checkpointing on the TrainObserver API
+// (DESIGN.md §11). Installed automatically by the Trainer constructor when
+// TrainConfig::checkpoint.dir is non-empty, or attachable explicitly via
+// add_observer(). Every save is a crash-safe atomic ZKGC write followed by
+// keep-last-K rotation, so the checkpoint directory always holds loadable
+// snapshots no matter when the process dies.
+#pragma once
+
+#include <string>
+
+#include "ckpt/io.hpp"
+#include "defense/trainer.hpp"
+
+namespace zkg::defense {
+
+class CheckpointObserver : public TrainObserver {
+ public:
+  /// `config.dir` must be non-empty; created on first save.
+  explicit CheckpointObserver(ckpt::CheckpointConfig config);
+
+  /// Mid-epoch cadence: saves after every `every_batches` completed batches
+  /// (0 disables batch-level checkpoints).
+  void on_batch_end(const Trainer& trainer, std::int64_t epoch,
+                    std::int64_t batch, const BatchStats& stats) override;
+
+  /// Epoch cadence: saves after every `every_epochs` finished epochs.
+  void on_epoch_end(const Trainer& trainer, const EpochStats& stats) override;
+
+  /// Final snapshot at the interruption cursor — the checkpoint a resumed
+  /// run continues from.
+  void on_train_interrupted(const Trainer& trainer, std::int64_t epoch,
+                            std::int64_t batch) override;
+
+  /// Terminal snapshot so the directory's newest checkpoint always reflects
+  /// the finished run (no-op when the cursor was already saved).
+  void on_train_end(const Trainer& trainer, const TrainResult& result) override;
+
+  std::int64_t saves() const { return saves_; }
+  const std::string& last_path() const { return last_path_; }
+
+ private:
+  void save(const Trainer& trainer);
+
+  ckpt::CheckpointConfig config_;
+  std::int64_t saves_ = 0;
+  std::string last_path_;
+};
+
+}  // namespace zkg::defense

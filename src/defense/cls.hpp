@@ -18,6 +18,13 @@ class ClsTrainer : public Trainer {
  protected:
   BatchStats train_batch(const data::Batch& batch) override;
 
+  void capture_extra_state(ckpt::TrainState& state) override {
+    state.rng_streams.emplace_back("noise", noise_rng_.state());
+  }
+  void restore_extra_state(const ckpt::TrainState& state) override {
+    noise_rng_.set_state(state.rng_stream("noise"));
+  }
+
  private:
   Rng noise_rng_;
   // Per-batch temporaries reused across steps.

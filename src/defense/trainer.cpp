@@ -3,7 +3,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "ckpt/signal.hpp"
+#include "common/env.hpp"
 #include "common/stopwatch.hpp"
+#include "defense/checkpointing.hpp"
 #include "defense/observer.hpp"
 #include "obs/telemetry.hpp"
 
@@ -20,6 +23,16 @@ template <typename T>
 std::string describe(const char* constraint, T value) {
   std::ostringstream out;
   out << "must be " << constraint << ", got " << value;
+  return out.str();
+}
+
+[[noreturn]] void state_fail(const std::string& what) {
+  throw SerializationError("TrainState: " + what);
+}
+
+std::string indexed(const char* prefix, std::size_t i) {
+  std::ostringstream out;
+  out << prefix << i;
   return out.str();
 }
 
@@ -53,6 +66,23 @@ void TrainConfig::validate() const {
   if (attack.restarts < 1) {
     config_fail("attack.restarts", describe(">= 1", attack.restarts));
   }
+  if (checkpoint.every_batches < 0) {
+    config_fail("checkpoint.every_batches",
+                describe(">= 0", checkpoint.every_batches));
+  }
+  if (checkpoint.every_epochs < 0) {
+    config_fail("checkpoint.every_epochs",
+                describe(">= 0", checkpoint.every_epochs));
+  }
+  if (checkpoint.keep_last < 1) {
+    config_fail("checkpoint.keep_last", describe(">= 1", checkpoint.keep_last));
+  }
+  if (rollback.max_retries < 0) {
+    config_fail("rollback.max_retries", describe(">= 0", rollback.max_retries));
+  }
+  if (!(rollback.lr_decay > 0.0f && rollback.lr_decay <= 1.0f)) {
+    config_fail("rollback.lr_decay", describe("in (0, 1]", rollback.lr_decay));
+  }
 }
 
 double TrainResult::mean_epoch_seconds() const {
@@ -76,6 +106,9 @@ bool TrainResult::converged() const {
 
 Trainer::Trainer(models::Classifier& model, TrainConfig config)
     : model_(model), config_(config), rng_(config.seed) {
+  // Per-process overrides (ZKG_CKPT_*) land before validation so a bad env
+  // value fails as loudly as a bad config field.
+  config_.checkpoint = ckpt::checkpoint_config_from_env(config_.checkpoint);
   config_.validate();
   optimizer_ = std::make_unique<optim::Adam>(
       model_.parameters(), optim::AdamConfig{.learning_rate =
@@ -92,6 +125,10 @@ Trainer::Trainer(models::Classifier& model, TrainConfig config)
     verbose_shim_ = std::make_unique<ConsoleProgressObserver>();
     observers_.push_back(verbose_shim_.get());
   }
+  if (!config_.checkpoint.dir.empty()) {
+    ckpt_shim_ = std::make_unique<CheckpointObserver>(config_.checkpoint);
+    observers_.push_back(ckpt_shim_.get());
+  }
 }
 
 void Trainer::add_observer(TrainObserver* observer) {
@@ -103,43 +140,197 @@ void Trainer::clear_observers() {
   observers_.clear();
   verbose_shim_.reset();
   checked_shim_.reset();
+  ckpt_shim_.reset();
+}
+
+void Trainer::scale_learning_rate(float factor) {
+  optimizer_->set_learning_rate(optimizer_->learning_rate() * factor);
+}
+
+ckpt::TrainState Trainer::capture_state() const {
+  // Const body, mutable work: collect_rngs and Sequential::state() are
+  // non-const but observationally pure (same precedent as model()).
+  return const_cast<Trainer*>(this)->capture_state_impl(
+      /*include_batcher=*/true);
+}
+
+ckpt::TrainState Trainer::capture_state_impl(bool include_batcher) {
+  ckpt::TrainState state;
+  state.defense = name();
+  state.seed = config_.seed;
+  state.epoch = cur_epoch_;
+  state.batch = cur_batch_;
+  state.loss_sum = loss_sum_;
+  state.disc_sum = disc_sum_;
+  state.completed_epochs = history_;
+  state.counters.emplace_back("rollbacks", rollbacks_);
+  state.counters.emplace_back("skipped_batches", skipped_batches_);
+  state.model_params = model_.net().state();
+  state.optimizers.push_back(optimizer_->state());
+  state.rng_streams.emplace_back("trainer", rng_.state());
+  std::vector<Rng*> model_rngs;
+  model_.collect_rngs(model_rngs);
+  for (std::size_t i = 0; i < model_rngs.size(); ++i) {
+    state.rng_streams.emplace_back(indexed("model.rng.", i),
+                                   model_rngs[i]->state());
+  }
+  if (include_batcher && active_batcher_ != nullptr) {
+    state.has_batcher = true;
+    state.batcher = active_batcher_->state();
+  }
+  capture_extra_state(state);
+  return state;
+}
+
+void Trainer::restore_state(const ckpt::TrainState& state) {
+  apply_state(state, /*include_counters=*/true, /*include_batcher=*/true);
+  // At a mid-epoch cursor the restored batcher already holds this epoch's
+  // permutation; at an epoch boundary the next fit_epoch must reshuffle
+  // (from the restored shuffle stream) exactly as the original run did.
+  resume_mid_epoch_ = state.has_batcher && state.batch > 0;
+}
+
+void Trainer::apply_state(const ckpt::TrainState& state, bool include_counters,
+                          bool include_batcher) {
+  if (state.defense != name()) {
+    state_fail("snapshot is for defense '" + state.defense +
+               "', this trainer is '" + name() + "'");
+  }
+  if (state.seed != config_.seed) {
+    std::ostringstream out;
+    out << "snapshot seed " << state.seed << " != config seed "
+        << config_.seed << " — resumed run would not be bit-identical";
+    state_fail(out.str());
+  }
+  if (state.optimizers.empty()) state_fail("missing classifier optimizer");
+  model_.net().load_state(state.model_params);
+  optimizer_->load_state(state.optimizers.front());
+  rng_.set_state(state.rng_stream("trainer"));
+  std::vector<Rng*> model_rngs;
+  model_.collect_rngs(model_rngs);
+  for (std::size_t i = 0; i < model_rngs.size(); ++i) {
+    model_rngs[i]->set_state(state.rng_stream(indexed("model.rng.", i)));
+  }
+  cur_epoch_ = state.epoch;
+  cur_batch_ = state.batch;
+  loss_sum_ = state.loss_sum;
+  disc_sum_ = state.disc_sum;
+  history_ = state.completed_epochs;
+  if (include_counters) {
+    rollbacks_ = state.counter_or("rollbacks");
+    skipped_batches_ = state.counter_or("skipped_batches");
+  }
+  if (include_batcher && state.has_batcher) {
+    if (active_batcher_ == nullptr) {
+      state_fail("snapshot has batcher state but no batcher is active; "
+                 "resume via fit(), not restore_state() alone");
+    }
+    active_batcher_->load_state(state.batcher);
+  }
+  restore_extra_state(state);
+}
+
+void Trainer::run_batch(const data::Batch& batch) {
+  const RollbackConfig& rb = config_.rollback;
+  while (true) {
+    try {
+      BatchStats stats;
+      {
+        ZKG_SPAN("train.batch");
+        stats = train_batch(batch);
+      }
+      loss_sum_ += stats.classifier_loss;
+      disc_sum_ += stats.discriminator_loss;
+      const std::int64_t index = cur_batch_;
+      ++cur_batch_;  // before the fan-out: checkpoints record completed count
+      for (TrainObserver* observer : observers_) {
+        observer->on_batch_end(*this, cur_epoch_, index, stats);
+      }
+      if (rb.max_retries > 0) {
+        last_good_ = std::make_unique<ckpt::TrainState>(
+            capture_state_impl(/*include_batcher=*/false));
+      }
+      return;
+    } catch (const NonFiniteError&) {
+      if (rb.max_retries <= 0 || rollbacks_ >= rb.max_retries ||
+          last_good_ == nullptr) {
+        throw;
+      }
+      ++rollbacks_;
+      ZKG_COUNT("train.rollbacks", 1);
+      // Counters stay: the restore must not refill its own retry budget.
+      apply_state(*last_good_, /*include_counters=*/false,
+                  /*include_batcher=*/false);
+      if (rb.lr_decay < 1.0f) scale_learning_rate(rb.lr_decay);
+      // Re-capture so repeated rollbacks compound the LR decay instead of
+      // restoring the original rate each time.
+      last_good_ = std::make_unique<ckpt::TrainState>(
+          capture_state_impl(/*include_batcher=*/false));
+      if (rb.skip_batch) {
+        ++skipped_batches_;
+        ZKG_COUNT("train.skipped_batches", 1);
+        return;
+      }
+      // else: retry the same batch with the decayed learning rate.
+    }
+  }
 }
 
 EpochStats Trainer::fit_epoch(data::Batcher& batcher,
                               std::int64_t epoch_index) {
   ZKG_SPAN("train.epoch");
   Stopwatch watch;
-  batcher.start_epoch();
-  double loss_sum = 0.0;
-  double disc_sum = 0.0;
-  std::int64_t batches = 0;
+  cur_epoch_ = epoch_index;
+  if (resume_mid_epoch_) {
+    // The restored batcher is already mid-permutation; reshuffling here
+    // would replay or drop batches.
+    resume_mid_epoch_ = false;
+  } else {
+    batcher.start_epoch();
+    cur_batch_ = 0;
+    loss_sum_ = 0.0;
+    disc_sum_ = 0.0;
+  }
+  if (config_.rollback.max_retries > 0 && last_good_ == nullptr) {
+    last_good_ = std::make_unique<ckpt::TrainState>(
+        capture_state_impl(/*include_batcher=*/false));
+  }
   while (true) {
+    if (ckpt::stop_requested()) {
+      interrupted_ = true;
+      break;
+    }
     std::optional<data::Batch> batch;
     {
       ZKG_SPAN("train.batch_fetch");
       batch = batcher.next();
     }
     if (!batch) break;
-    BatchStats stats;
-    {
-      ZKG_SPAN("train.batch");
-      stats = train_batch(*batch);
-    }
-    loss_sum += stats.classifier_loss;
-    disc_sum += stats.discriminator_loss;
-    for (TrainObserver* observer : observers_) {
-      observer->on_batch_end(*this, epoch_index, batches, stats);
-    }
-    ++batches;
+    run_batch(*batch);
   }
   EpochStats stats;
   stats.epoch = epoch_index;
   stats.classifier_loss =
-      batches > 0 ? static_cast<float>(loss_sum / batches) : 0.0f;
+      cur_batch_ > 0 ? static_cast<float>(loss_sum_ / cur_batch_) : 0.0f;
   stats.discriminator_loss =
-      batches > 0 ? static_cast<float>(disc_sum / batches) : 0.0f;
+      cur_batch_ > 0 ? static_cast<float>(disc_sum_ / cur_batch_) : 0.0f;
   stats.seconds = watch.seconds();
-  stats.batches = batches;
+  stats.batches = cur_batch_;
+  if (interrupted_) {
+    // Partial epoch: the cursor stays where it is for the final checkpoint;
+    // no epoch-end events fire.
+    return stats;
+  }
+  history_.push_back(ckpt::EpochRecord{stats.epoch, stats.classifier_loss,
+                                       stats.discriminator_loss,
+                                       stats.seconds, stats.batches});
+  // Advance the cursor before the fan-out so an epoch-boundary checkpoint
+  // records "next epoch, batch 0" and resumes with a fresh shuffle.
+  cur_epoch_ = epoch_index + 1;
+  cur_batch_ = 0;
+  loss_sum_ = 0.0;
+  disc_sum_ = 0.0;
+  last_good_.reset();  // re-captured at the next epoch's start
   for (TrainObserver* observer : observers_) {
     observer->on_epoch_end(*this, stats);
   }
@@ -148,19 +339,50 @@ EpochStats Trainer::fit_epoch(data::Batcher& batcher,
 
 TrainResult Trainer::fit(const data::Dataset& train) {
   ZKG_SPAN("train.fit");
+  if (env_or_int("ZKG_CKPT_HANDLE_SIGNALS", 0) != 0) {
+    ckpt::install_signal_handlers();
+  }
   data::Batcher batcher(train, config_.batch_size, rng_);
+  active_batcher_ = &batcher;
+  cur_epoch_ = 0;
+  cur_batch_ = 0;
+  loss_sum_ = 0.0;
+  disc_sum_ = 0.0;
+  history_.clear();
+  resume_mid_epoch_ = false;
+  interrupted_ = false;
+  last_good_.reset();
+  if (!config_.resume_from.empty()) {
+    restore_state(ckpt::load_resume_point(config_.resume_from));
+  }
   for (TrainObserver* observer : observers_) {
     observer->on_train_begin(*this);
   }
   TrainResult result;
+  for (const ckpt::EpochRecord& record : history_) {
+    result.epochs.push_back(EpochStats{record.epoch, record.classifier_loss,
+                                       record.discriminator_loss,
+                                       record.seconds, record.batches});
+  }
   Stopwatch watch;
-  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    result.epochs.push_back(fit_epoch(batcher, epoch));
+  for (std::int64_t epoch = cur_epoch_; epoch < config_.epochs; ++epoch) {
+    const EpochStats stats = fit_epoch(batcher, epoch);
+    if (interrupted_) break;
+    result.epochs.push_back(stats);
   }
   result.total_seconds = watch.seconds();
+  result.interrupted = interrupted_;
+  if (interrupted_) {
+    // The final checkpoint for `resume_from` is written here by the
+    // CheckpointObserver (or any user observer).
+    for (TrainObserver* observer : observers_) {
+      observer->on_train_interrupted(*this, cur_epoch_, cur_batch_);
+    }
+  }
   for (TrainObserver* observer : observers_) {
     observer->on_train_end(*this, result);
   }
+  active_batcher_ = nullptr;
   return result;
 }
 

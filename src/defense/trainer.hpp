@@ -4,6 +4,12 @@
 // class owns the epoch loop, the Adam optimizer, the timing bookkeeping
 // that feeds the Figure 5 experiments, and the TrainObserver fan-out that
 // replaced ad-hoc verbose printing.
+//
+// Fault tolerance (DESIGN.md §11) also lives here: fit() can resume from a
+// ZKGC checkpoint bit-identically, polls the ckpt stop flag at batch
+// boundaries for graceful SIGINT/SIGTERM shutdown, and — when
+// TrainConfig::rollback enables it — recovers from a NonFiniteError by
+// restoring the last-good in-memory snapshot instead of aborting the run.
 #pragma once
 
 #include <memory>
@@ -11,6 +17,8 @@
 #include <vector>
 
 #include "attacks/attack.hpp"
+#include "ckpt/io.hpp"
+#include "ckpt/train_state.hpp"
 #include "common/rng.hpp"
 #include "data/batcher.hpp"
 #include "data/dataset.hpp"
@@ -20,6 +28,24 @@
 namespace zkg::defense {
 
 class Trainer;
+
+/// NaN-recovery policy (DESIGN.md §11). Disabled by default: a
+/// NonFiniteError propagates out of fit() exactly as before. With
+/// max_retries > 0 the trainer restores the last-good in-memory snapshot
+/// (parameters, optimizer moments, RNG streams, loss accumulators — but
+/// never the recovery counters, which would refill the budget), optionally
+/// scales the learning rate down, and either skips the offending batch or
+/// retries it.
+struct RollbackConfig {
+  /// Total recoveries allowed per fit(); when exhausted the error rethrows.
+  std::int64_t max_retries = 0;
+  /// Learning-rate multiplier applied on every rollback (1.0 = keep).
+  /// Retrying the same batch is only useful when this is < 1: the divergent
+  /// optimizer step is re-taken smaller.
+  float lr_decay = 1.0f;
+  /// After restoring, skip the offending batch (true) or retry it (false).
+  bool skip_batch = true;
+};
 
 struct TrainConfig {
   std::int64_t epochs = 10;
@@ -45,11 +71,29 @@ struct TrainConfig {
   /// TrainObserver via Trainer::add_observer() instead.
   bool verbose = false;
 
+  // --- Fault tolerance (DESIGN.md §11) ---
+
+  /// Auto-checkpointing: a non-empty `checkpoint.dir` installs an owned
+  /// CheckpointObserver writing crash-safe ZKGC snapshots on the configured
+  /// cadence. Overridable per-process via ZKG_CKPT_DIR / _EVERY_BATCHES /
+  /// _EVERY_EPOCHS / _KEEP (applied in the Trainer constructor).
+  ckpt::CheckpointConfig checkpoint;
+
+  /// Resume source: a .zkgc file, or a checkpoint directory whose newest
+  /// loadable snapshot is used. Empty = start fresh. The snapshot's defense
+  /// name and seed must match this run.
+  std::string resume_from;
+
+  /// NaN-recovery policy; see RollbackConfig.
+  RollbackConfig rollback;
+
   /// Throws zkg::ConfigError naming the first invalid field: epochs and
   /// batch_size >= 1, learning rates > 0 and finite, sigma >= 0,
-  /// lambda >= 0, gamma in [0, 1], disc_steps >= 1, and a sane attack
-  /// budget. Invoked by make_trainer and every Trainer constructor, so a
-  /// bad config fails fast instead of producing NaNs mid-run.
+  /// lambda >= 0, gamma in [0, 1], disc_steps >= 1, a sane attack budget,
+  /// checkpoint cadences >= 0 with keep_last >= 1, rollback.max_retries
+  /// >= 0 and rollback.lr_decay in (0, 1]. Invoked by make_trainer and
+  /// every Trainer constructor, so a bad config fails fast instead of
+  /// producing NaNs mid-run.
   void validate() const;
 };
 
@@ -70,6 +114,9 @@ struct EpochStats {
 struct TrainResult {
   std::vector<EpochStats> epochs;
   double total_seconds = 0.0;
+  /// True when fit() stopped early on the ckpt stop flag (SIGINT/SIGTERM or
+  /// ckpt::request_stop()). `epochs` then holds only the finished epochs.
+  bool interrupted = false;
 
   double mean_epoch_seconds() const;
   float final_loss() const;
@@ -101,7 +148,15 @@ class TrainObserver {
   virtual void on_epoch_end([[maybe_unused]] const Trainer& trainer,
                             [[maybe_unused]] const EpochStats& stats) {}
 
-  /// After the last epoch of fit(), with the complete result.
+  /// When fit() stops early on the stop flag, after the last completed
+  /// batch and before on_train_end. `epoch`/`batch` is the resume cursor
+  /// (batches completed within `epoch`).
+  virtual void on_train_interrupted([[maybe_unused]] const Trainer& trainer,
+                                    [[maybe_unused]] std::int64_t epoch,
+                                    [[maybe_unused]] std::int64_t batch) {}
+
+  /// After the last epoch of fit(), with the complete result. Also fires
+  /// (after on_train_interrupted) when the run was interrupted.
   virtual void on_train_end([[maybe_unused]] const Trainer& trainer,
                             [[maybe_unused]] const TrainResult& result) {}
 };
@@ -117,6 +172,10 @@ class Trainer {
   virtual std::string name() const = 0;
 
   /// Runs config.epochs epochs over `train` (pixels already in [-1, 1]).
+  /// With config.resume_from set, restores that snapshot first and
+  /// continues from its cursor, bit-identical to an uninterrupted run.
+  /// Polls ckpt::stop_requested() at batch boundaries; on a stop it fires
+  /// on_train_interrupted and returns with TrainResult::interrupted set.
   TrainResult fit(const data::Dataset& train);
 
   /// Runs exactly one epoch; exposed for convergence studies. Fires
@@ -127,8 +186,25 @@ class Trainer {
   /// config.verbose shim installs an owned ConsoleProgressObserver first,
   /// so explicit observers fire after it.
   void add_observer(TrainObserver* observer);
-  /// Removes every observer, including the verbose shim.
+  /// Removes every observer, including the owned shims.
   void clear_observers();
+
+  /// Complete snapshot of the run: parameters, optimizer state, every RNG
+  /// stream, the epoch/batch cursor and (inside fit()) the batcher. Safe to
+  /// call from observers at batch/epoch boundaries. Const-qualified for the
+  /// same reason as model(): observers hold `const Trainer&`, and capturing
+  /// copies state without mutating the training trajectory.
+  ckpt::TrainState capture_state() const;
+
+  /// Restores a capture_state()/checkpoint snapshot. Throws
+  /// zkg::SerializationError when the snapshot's defense name, seed, or any
+  /// tensor shape does not match this trainer.
+  void restore_state(const ckpt::TrainState& state);
+
+  /// NaN recoveries performed so far (counted across the trainer lifetime).
+  std::int64_t rollback_count() const { return rollbacks_; }
+  /// Batches dropped by the skip_batch rollback policy.
+  std::int64_t skipped_batch_count() const { return skipped_batches_; }
 
   /// The model being trained. Const-qualified but returning a mutable
   /// reference: the Trainer never owns the model, and observers receiving
@@ -145,17 +221,58 @@ class Trainer {
   /// Consumes one mini-batch: computes losses, updates weights.
   virtual BatchStats train_batch(const data::Batch& batch) = 0;
 
+  /// Subclass state hooks: append/restore defense-specific mutable state
+  /// (discriminator, noise/attack RNG streams). Overrides must chain the
+  /// base-class implementation.
+  virtual void capture_extra_state([[maybe_unused]] ckpt::TrainState& state) {}
+  virtual void restore_extra_state(
+      [[maybe_unused]] const ckpt::TrainState& state) {}
+
+  /// Multiplies every optimizer's learning rate by `factor` (rollback LR
+  /// decay). GanDef trainers override to include the discriminator's.
+  virtual void scale_learning_rate(float factor);
+
   models::Classifier& model_;
   TrainConfig config_;
   Rng rng_;
   std::unique_ptr<optim::Adam> optimizer_;
 
  private:
+  /// Non-const body of capture_state(); `include_batcher` is false for the
+  /// in-memory rollback snapshot (the already-drawn batch must not be
+  /// re-delivered after a restore).
+  ckpt::TrainState capture_state_impl(bool include_batcher);
+  /// Shared restore body. Rollback passes include_counters=false so a
+  /// restore can never refill its own retry budget, and
+  /// include_batcher=false so the batch cursor keeps advancing.
+  void apply_state(const ckpt::TrainState& state, bool include_counters,
+                   bool include_batcher);
+  /// One batch with the rollback policy wrapped around train_batch AND the
+  /// observer fan-out (checked builds surface NaNs from on_batch_end).
+  void run_batch(const data::Batch& batch);
+
   std::vector<TrainObserver*> observers_;
   std::unique_ptr<TrainObserver> verbose_shim_;  // owned console observer
   // ZKG_CHECKED builds install a CheckedMathObserver here so every run is
   // NaN-tripwired without call sites opting in; null in release builds.
   std::unique_ptr<TrainObserver> checked_shim_;
+  // Owned auto-checkpointing observer (config.checkpoint.dir non-empty).
+  std::unique_ptr<TrainObserver> ckpt_shim_;
+
+  // Resume cursor + partial-epoch accumulators (captured into TrainState).
+  data::Batcher* active_batcher_ = nullptr;  // non-null only inside fit()
+  std::int64_t cur_epoch_ = 0;
+  std::int64_t cur_batch_ = 0;  // batches completed within cur_epoch_
+  double loss_sum_ = 0.0;
+  double disc_sum_ = 0.0;
+  std::vector<ckpt::EpochRecord> history_;
+  bool resume_mid_epoch_ = false;  // skip the next start_epoch() reshuffle
+  bool interrupted_ = false;
+
+  // NaN-rollback machinery.
+  std::int64_t rollbacks_ = 0;
+  std::int64_t skipped_batches_ = 0;
+  std::unique_ptr<ckpt::TrainState> last_good_;
 };
 
 using TrainerPtr = std::unique_ptr<Trainer>;

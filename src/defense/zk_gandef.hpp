@@ -40,6 +40,13 @@ class GanDefTrainerBase : public Trainer {
                                    const std::vector<std::int64_t>& labels,
                                    Tensor& out) = 0;
 
+  /// Checkpoint hooks: the discriminator's parameters travel as the
+  /// "discriminator" XTRA tensor group, its Adam state as optimizers[1].
+  void capture_extra_state(ckpt::TrainState& state) override;
+  void restore_extra_state(const ckpt::TrainState& state) override;
+  /// Rollback LR decay applies to both players of the minimax game.
+  void scale_learning_rate(float factor) override;
+
  private:
   /// One discriminator update on frozen classifier logits. Returns BCE.
   float update_discriminator(const Tensor& class_logits,
@@ -78,6 +85,15 @@ class ZkGanDefTrainer : public GanDefTrainerBase {
   void make_perturbed_into(const Tensor& images,
                            const std::vector<std::int64_t>& labels,
                            Tensor& out) override;
+
+  void capture_extra_state(ckpt::TrainState& state) override {
+    GanDefTrainerBase::capture_extra_state(state);
+    state.rng_streams.emplace_back("noise", noise_rng_.state());
+  }
+  void restore_extra_state(const ckpt::TrainState& state) override {
+    GanDefTrainerBase::restore_extra_state(state);
+    noise_rng_.set_state(state.rng_stream("noise"));
+  }
 
  private:
   Rng noise_rng_;

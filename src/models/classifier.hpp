@@ -49,6 +49,9 @@ class Classifier {
   std::vector<nn::Parameter*> parameters() { return net_.parameters(); }
   void zero_grad() { net_.zero_grad(); }
 
+  /// Internal random streams (dropout masks, ...) for checkpoint capture.
+  void collect_rngs(std::vector<Rng*>& out) { net_.collect_rngs(out); }
+
   const std::string& name() const { return name_; }
   const InputSpec& spec() const { return spec_; }
   nn::Sequential& net() { return net_; }

@@ -33,6 +33,8 @@ class Discriminator {
 
   std::vector<nn::Parameter*> parameters() { return net_.parameters(); }
   void zero_grad() { net_.zero_grad(); }
+  /// Internal random streams (dropout masks, ...) for checkpoint capture.
+  void collect_rngs(std::vector<Rng*>& out) { net_.collect_rngs(out); }
   nn::Sequential& net() { return net_; }
 
  private:

@@ -17,6 +17,7 @@ class Dropout : public Module {
   void forward_into(const Tensor& input, Tensor& out, bool training) override;
   void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::string name() const override;
+  void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
 
   float rate() const { return rate_; }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "nn/parameter.hpp"
 #include "tensor/tensor.hpp"
 
@@ -55,6 +56,11 @@ class Module {
 
   /// Trainable parameters owned by this layer (empty for stateless layers).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Appends every internal random stream this layer draws from during
+  /// training (dropout masks, ...), in a deterministic order. Checkpoints
+  /// serialize the collected streams so a resumed run samples identically.
+  virtual void collect_rngs([[maybe_unused]] std::vector<Rng*>& out) {}
 
   /// Short layer description for logging / model summaries.
   virtual std::string name() const = 0;

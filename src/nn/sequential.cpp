@@ -69,6 +69,10 @@ std::vector<Parameter*> Sequential::parameters() {
   return params;
 }
 
+void Sequential::collect_rngs(std::vector<Rng*>& out) {
+  for (const ModulePtr& layer : layers_) layer->collect_rngs(out);
+}
+
 std::string Sequential::name() const {
   std::ostringstream out;
   out << "Sequential(" << layers_.size() << " layers)";

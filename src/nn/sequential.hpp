@@ -25,6 +25,7 @@ class Sequential : public Module {
   void backward_into(const Tensor& grad_output, Tensor& grad_input) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override;
+  void collect_rngs(std::vector<Rng*>& out) override;
 
   std::size_t num_layers() const { return layers_.size(); }
   Module& layer(std::size_t i) { return *layers_.at(i); }

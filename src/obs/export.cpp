@@ -102,7 +102,8 @@ Table metric_table(Telemetry& telemetry) {
 bool flush(Telemetry& telemetry) {
   const std::string path = telemetry.trace_path();
   if (path.empty()) return false;
-  std::ofstream out(path, std::ios::trunc);
+  // Telemetry export; a torn write costs one trace, not training state.
+  std::ofstream out(path, std::ios::trunc);  // zkg-lint: allow(atomic-write)
   if (!out) throw Error("obs: cannot open trace file " + path);
   write_jsonl(out, telemetry);
   return true;

@@ -51,4 +51,40 @@ void Adam::step() {
   }
 }
 
+OptimizerState Adam::state() const {
+  OptimizerState state;
+  state.kind = "adam";
+  state.step_count = step_count_;
+  state.learning_rate = config_.learning_rate;
+  state.slots.reserve(m_.size() + v_.size());
+  for (const Tensor& m : m_) state.slots.push_back(m);
+  for (const Tensor& v : v_) state.slots.push_back(v);
+  return state;
+}
+
+void Adam::load_state(const OptimizerState& state) {
+  if (state.kind != "adam") {
+    throw SerializationError("Adam::load_state: snapshot kind '" +
+                             state.kind + "', expected 'adam'");
+  }
+  if (state.slots.size() != m_.size() + v_.size()) {
+    throw SerializationError(
+        "Adam::load_state: " + std::to_string(state.slots.size()) +
+        " slots for " + std::to_string(params_.size()) + " parameters");
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (state.slots[i].shape() != m_[i].shape() ||
+        state.slots[m_.size() + i].shape() != v_[i].shape()) {
+      throw SerializationError("Adam::load_state: slot " +
+                               std::to_string(i) + " shape mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    m_[i] = state.slots[i];
+    v_[i] = state.slots[m_.size() + i];
+  }
+  step_count_ = state.step_count;
+  config_.learning_rate = state.learning_rate;
+}
+
 }  // namespace zkg::optim

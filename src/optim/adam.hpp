@@ -23,6 +23,9 @@ class Adam : public Optimizer {
   float learning_rate() const override { return config_.learning_rate; }
   void set_learning_rate(float lr) override { config_.learning_rate = lr; }
 
+  OptimizerState state() const override;
+  void load_state(const OptimizerState& state) override;
+
   std::int64_t step_count() const { return step_count_; }
 
  private:

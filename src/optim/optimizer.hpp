@@ -2,11 +2,23 @@
 // construction and updates it from the accumulated gradients on step().
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "nn/parameter.hpp"
 
 namespace zkg::optim {
+
+/// Snapshot of an optimizer's mutable state, captured for training
+/// checkpoints (DESIGN.md §11). `slots` holds the per-parameter buffers in
+/// the optimizer's own order (Adam: all first moments, then all second
+/// moments; SGD: the velocity buffers, empty without momentum).
+struct OptimizerState {
+  std::string kind;  // "sgd" / "adam"; load_state() cross-checks it
+  std::int64_t step_count = 0;
+  float learning_rate = 0.0f;
+  std::vector<Tensor> slots;
+};
 
 class Optimizer {
  public:
@@ -25,6 +37,14 @@ class Optimizer {
   /// Current learning rate (schedulers mutate it via set_learning_rate).
   virtual float learning_rate() const = 0;
   virtual void set_learning_rate(float lr) = 0;
+
+  /// Copies the mutable update state (moments/velocities, step count, LR).
+  /// A clone restored via load_state() steps bit-identically from here on.
+  virtual OptimizerState state() const = 0;
+  /// Restores a snapshot captured by state() on an optimizer bound to the
+  /// same parameter set. Throws zkg::SerializationError when the kind, slot
+  /// count or slot shapes do not match this optimizer.
+  virtual void load_state(const OptimizerState& state) = 0;
 
   const std::vector<nn::Parameter*>& params() const { return params_; }
 

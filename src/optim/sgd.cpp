@@ -54,4 +54,32 @@ void Sgd::step() {
   }
 }
 
+OptimizerState Sgd::state() const {
+  OptimizerState state;
+  state.kind = "sgd";
+  state.learning_rate = config_.learning_rate;
+  state.slots = velocity_;
+  return state;
+}
+
+void Sgd::load_state(const OptimizerState& state) {
+  if (state.kind != "sgd") {
+    throw SerializationError("Sgd::load_state: snapshot kind '" + state.kind +
+                             "', expected 'sgd'");
+  }
+  if (state.slots.size() != velocity_.size()) {
+    throw SerializationError(
+        "Sgd::load_state: " + std::to_string(state.slots.size()) +
+        " velocity slots, expected " + std::to_string(velocity_.size()));
+  }
+  for (std::size_t i = 0; i < velocity_.size(); ++i) {
+    if (state.slots[i].shape() != velocity_[i].shape()) {
+      throw SerializationError("Sgd::load_state: velocity " +
+                               std::to_string(i) + " shape mismatch");
+    }
+  }
+  velocity_ = state.slots;
+  config_.learning_rate = state.learning_rate;
+}
+
 }  // namespace zkg::optim

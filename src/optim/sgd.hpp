@@ -21,6 +21,9 @@ class Sgd : public Optimizer {
   float learning_rate() const override { return config_.learning_rate; }
   void set_learning_rate(float lr) override { config_.learning_rate = lr; }
 
+  OptimizerState state() const override;
+  void load_state(const OptimizerState& state) override;
+
  private:
   SgdConfig config_;
   std::vector<Tensor> velocity_;

@@ -1,27 +1,107 @@
 #include "tensor/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 namespace zkg {
 namespace {
 
 constexpr char kMagic[4] = {'Z', 'K', 'G', 'T'};
 constexpr std::uint32_t kVersion = 1;
+// Anything larger than 2^33 elements (32 GiB of f32) in one tensor is a
+// corrupted header, not a checkpoint we ever wrote.
+constexpr std::int64_t kMaxNumel = std::int64_t{1} << 33;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+[[noreturn]] void fail_at(std::uint64_t offset, const std::string& detail) {
+  std::ostringstream message;
+  message << "tensor stream: " << detail << " (at byte " << offset << ")";
+  throw SerializationError(message.str());
+}
+
+// Reads exactly `n` bytes, advancing `offset`; reports how many bytes were
+// actually available when the stream runs short.
+void read_exact(std::istream& in, char* dst, std::uint64_t n,
+                std::uint64_t& offset, const char* what) {
+  in.read(dst, static_cast<std::streamsize>(n));
+  const auto got = static_cast<std::uint64_t>(in.gcount());
+  if (got != n) {
+    fail_at(offset + got, std::string("truncated ") + what + ": expected " +
+                              std::to_string(n) + " bytes, got " +
+                              std::to_string(got));
+  }
+  offset += n;
+}
+
 template <typename T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, std::uint64_t& offset, const char* what) {
   T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw SerializationError("truncated tensor stream");
+  read_exact(in, reinterpret_cast<char*>(&value), sizeof(T), offset, what);
   return value;
+}
+
+std::string printable(const char* bytes, std::size_t n) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<unsigned char>(bytes[i]);
+    if (c >= 0x20 && c < 0x7f) {
+      out << bytes[i];
+    } else {
+      out << "\\x" << "0123456789abcdef"[c >> 4] << "0123456789abcdef"[c & 15];
+    }
+  }
+  return out.str();
+}
+
+Tensor read_tensor_at(std::istream& in, std::uint64_t& offset) {
+  const std::uint64_t start = offset;
+  char magic[4];
+  read_exact(in, magic, sizeof(magic), offset, "tensor magic");
+  if (std::string(magic, 4) != std::string(kMagic, 4)) {
+    fail_at(start, "bad tensor magic: expected \"ZKGT\", got \"" +
+                       printable(magic, 4) + "\"");
+  }
+  const auto version = read_pod<std::uint32_t>(in, offset, "tensor version");
+  if (version != kVersion) {
+    fail_at(start + 4, "unsupported tensor version " +
+                           std::to_string(version) + ", expected " +
+                           std::to_string(kVersion));
+  }
+  const auto rank = read_pod<std::uint32_t>(in, offset, "tensor rank");
+  if (rank > 8) {
+    fail_at(start + 8, "implausible tensor rank " + std::to_string(rank) +
+                           " (max 8)");
+  }
+  Shape shape(rank);
+  std::int64_t numel = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    shape[i] = read_pod<std::int64_t>(in, offset, "tensor dimension");
+    if (shape[i] < 0) {
+      fail_at(offset - sizeof(std::int64_t),
+              "negative dimension " + std::to_string(shape[i]) + " at axis " +
+                  std::to_string(i));
+    }
+    if (shape[i] > kMaxNumel || numel > kMaxNumel / std::max<std::int64_t>(
+                                            shape[i], 1)) {
+      fail_at(offset - sizeof(std::int64_t),
+              "implausible tensor size: " + shape_to_string(shape) +
+                  " overflows the element limit");
+    }
+    numel *= shape[i];
+  }
+  Tensor t(shape);
+  read_exact(in, reinterpret_cast<char*>(t.data()),
+             static_cast<std::uint64_t>(t.numel()) * sizeof(float), offset,
+             "tensor data");
+  return t;
 }
 
 }  // namespace
@@ -37,28 +117,8 @@ void write_tensor(std::ostream& out, const Tensor& t) {
 }
 
 Tensor read_tensor(std::istream& in) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::string(magic, 4) != std::string(kMagic, 4)) {
-    throw SerializationError("bad tensor magic");
-  }
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw SerializationError("unsupported tensor version " +
-                             std::to_string(version));
-  }
-  const auto rank = read_pod<std::uint32_t>(in);
-  if (rank > 8) throw SerializationError("implausible tensor rank");
-  Shape shape(rank);
-  for (auto& d : shape) {
-    d = read_pod<std::int64_t>(in);
-    if (d < 0) throw SerializationError("negative dimension");
-  }
-  Tensor t(shape);
-  in.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!in) throw SerializationError("truncated tensor data");
-  return t;
+  std::uint64_t offset = 0;
+  return read_tensor_at(in, offset);
 }
 
 void write_tensors(std::ostream& out, const std::vector<Tensor>& tensors) {
@@ -67,13 +127,21 @@ void write_tensors(std::ostream& out, const std::vector<Tensor>& tensors) {
 }
 
 std::vector<Tensor> read_tensors(std::istream& in) {
-  const auto count = read_pod<std::uint64_t>(in);
+  std::uint64_t offset = 0;
+  const auto count = read_pod<std::uint64_t>(in, offset, "tensor count");
   if (count > (1ull << 20)) {
-    throw SerializationError("implausible tensor count");
+    fail_at(0, "implausible tensor count " + std::to_string(count));
   }
   std::vector<Tensor> tensors;
   tensors.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) tensors.push_back(read_tensor(in));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    try {
+      tensors.push_back(read_tensor_at(in, offset));
+    } catch (const SerializationError& e) {
+      throw SerializationError("tensor " + std::to_string(i) + " of " +
+                               std::to_string(count) + ": " + e.what());
+    }
+  }
   return tensors;
 }
 

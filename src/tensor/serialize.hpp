@@ -3,6 +3,12 @@
 // Format (little-endian):
 //   magic "ZKGT", u32 version, u32 rank, i64 dims[rank], f32 data[numel].
 // A checkpoint is a count-prefixed sequence of tensors.
+//
+// The readers never return garbage on malformed input: every short read,
+// bad magic, implausible rank/dimension or oversized header throws
+// zkg::SerializationError naming the byte offset and the expected vs.
+// actual value. Crash-safe whole-file writes (tmp + fsync + rename + CRC)
+// live one level up in src/ckpt.
 #pragma once
 
 #include <iosfwd>

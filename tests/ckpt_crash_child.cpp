@@ -1,0 +1,33 @@
+// Child process for the fault-injection test (test_ckpt_fault.cpp). Trains
+// Vanilla with per-batch checkpointing into argv[1]; the parent sets
+// ZKG_CKPT_TEST_CRASH_WRITE so one of the atomic checkpoint writes SIGKILLs
+// this process halfway through its tmp file.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "data/preprocess.hpp"
+#include "defense/vanilla.hpp"
+#include "models/lenet.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <checkpoint-dir>\n", argv[0]);
+    return 2;
+  }
+  using namespace zkg;
+  Rng data_rng(42);
+  const data::Dataset train =
+      data::scale_pixels(data::make_synth_digits(192, data_rng));
+  Rng model_rng(7);
+  models::Classifier model =
+      models::build_lenet({1, 28, 28, 10}, models::Preset::kBench, model_rng);
+
+  defense::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 32;
+  config.checkpoint.dir = argv[1];
+  config.checkpoint.every_batches = 1;
+  defense::VanillaTrainer trainer(model, config);
+  trainer.fit(train);
+  return 0;
+}

@@ -1,0 +1,632 @@
+// Fault-tolerance tests (DESIGN.md §11): CRC32 known answers, crash-safe
+// atomic writes, checkpoint naming/rotation, RNG and Batcher snapshots, the
+// ZKGC encode/decode round-trip with a corruption matrix, bit-identical
+// interrupt+resume for Vanilla and ZK-GanDef, and the NaN rollback policy.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/crc32.hpp"
+#include "ckpt/io.hpp"
+#include "ckpt/signal.hpp"
+#include "ckpt/train_state.hpp"
+#include "common/rng.hpp"
+#include "data/batcher.hpp"
+#include "data/preprocess.hpp"
+#include "defense/checkpointing.hpp"
+#include "defense/cls.hpp"
+#include "defense/vanilla.hpp"
+#include "defense/zk_gandef.hpp"
+#include "models/lenet.hpp"
+#include "nn/dropout.hpp"
+#include "nn/sequential.hpp"
+#include "obs/telemetry.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test; removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("zkg_ckpt_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Crc32, KnownAnswerAndChaining) {
+  // The standard zlib/IEEE CRC32 check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Chaining two halves equals the one-shot digest.
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t half = crc32(data.data(), 20);
+  EXPECT_EQ(crc32(data.data() + 20, data.size() - 20, half),
+            crc32(data.data(), data.size()));
+  // Sensitivity: one flipped bit changes the digest.
+  std::string flipped = data;
+  flipped[7] ^= 1;
+  EXPECT_NE(crc32(flipped.data(), flipped.size()),
+            crc32(data.data(), data.size()));
+}
+
+TEST(AtomicWrite, RoundTripOverwriteAndNesting) {
+  TempDir dir("atomic");
+  const std::string path = dir.path() + "/sub/dir/file.bin";
+  atomic_write_file(path, "first");
+  EXPECT_EQ(slurp(path), "first");
+  atomic_write_file(path, "second, longer payload");
+  EXPECT_EQ(slurp(path), "second, longer payload");
+  // The tmp staging file never outlives a successful write.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(CheckpointFiles, NamingListingAndRotation) {
+  TempDir dir("rotate");
+  // Write out of order; zero-padded names must sort into training order.
+  for (const auto& [e, b] : std::vector<std::pair<int, int>>{
+           {1, 0}, {0, 5}, {0, 0}, {2, 3}}) {
+    atomic_write_file(checkpoint_path(dir.path(), e, b), "x");
+  }
+  // Unrelated files and stale .tmp partials are not checkpoints.
+  atomic_write_file(dir.path() + "/notes.txt", "y");
+  std::ofstream(dir.path() + "/zkg-ckpt-e000009-b000000000.zkgc.tmp")
+      << "partial";
+
+  const std::vector<std::string> all = list_checkpoints(dir.path());
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(fs::path(all.front()).filename(), "zkg-ckpt-e000000-b000000000.zkgc");
+  EXPECT_EQ(fs::path(all.back()).filename(), "zkg-ckpt-e000002-b000000003.zkgc");
+  EXPECT_EQ(latest_checkpoint(dir.path()), all.back());
+
+  rotate_checkpoints(dir.path(), 2);
+  const std::vector<std::string> kept = list_checkpoints(dir.path());
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.back(), all.back());
+  EXPECT_EQ(kept.front(), all[2]);
+  // Rotation also sweeps crash leftovers, but not unrelated files.
+  EXPECT_FALSE(
+      fs::exists(dir.path() + "/zkg-ckpt-e000009-b000000000.zkgc.tmp"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/notes.txt"));
+}
+
+TEST(RngState, RoundTripContinuesBitIdentically) {
+  Rng a(7);
+  for (int i = 0; i < 100; ++i) a.normal();
+  const std::string snapshot = a.state();
+  Rng b(999);
+  b.set_state(snapshot);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.randint(0, 1u << 30), b.randint(0, 1u << 30)) << "draw " << i;
+  }
+  EXPECT_THROW(b.set_state("not an mt19937_64 state"), SerializationError);
+}
+
+TEST(BatcherState, RestoredBatcherYieldsTheSameRemainingSequence) {
+  Rng data_rng(42);
+  const data::Dataset ds =
+      data::scale_pixels(data::make_synth_digits(64, data_rng));
+
+  auto drain_labels = [](data::Batcher& b) {
+    std::vector<std::int64_t> labels;
+    while (auto batch = b.next()) {
+      labels.insert(labels.end(), batch->labels.begin(), batch->labels.end());
+    }
+    return labels;
+  };
+
+  Rng r1(5);
+  data::Batcher b1(ds, 16, r1);
+  b1.start_epoch();
+  b1.next();
+  b1.next();
+  const data::BatcherState snap = b1.state();
+
+  Rng r2(999);  // deliberately different stream; load_state overrides it
+  data::Batcher b2(ds, 16, r2);
+  b2.load_state(snap);
+  EXPECT_EQ(drain_labels(b1), drain_labels(b2));
+
+  // The restored shuffle stream also reproduces the NEXT epoch's order.
+  b1.start_epoch();
+  b2.start_epoch();
+  EXPECT_EQ(drain_labels(b1), drain_labels(b2));
+
+  // Validation: wrong permutation length, out-of-range index, bad cursor.
+  data::BatcherState bad = snap;
+  bad.order.push_back(0);
+  EXPECT_THROW(b2.load_state(bad), SerializationError);
+  bad = snap;
+  bad.order[0] = 64;
+  EXPECT_THROW(b2.load_state(bad), SerializationError);
+  bad = snap;
+  bad.cursor = 1000;
+  EXPECT_THROW(b2.load_state(bad), SerializationError);
+}
+
+TEST(ModelRngs, DropoutStreamsAreDiscoverable) {
+  Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Dropout>(0.5f, rng);
+  net.emplace<nn::Dropout>(0.25f, rng);
+  std::vector<Rng*> streams;
+  net.collect_rngs(streams);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_NE(streams[0], streams[1]);
+}
+
+// --- ZKGC encode/decode ---
+
+TrainState sample_state() {
+  Rng rng(11);
+  TrainState s;
+  s.defense = "Vanilla";
+  s.seed = 42;
+  s.epoch = 3;
+  s.batch = 7;
+  s.loss_sum = 1.5;
+  s.disc_sum = 0.25;
+  s.completed_epochs = {{0, 2.0f, 0.5f, 0.75, 10}, {1, 1.0f, 0.25f, 0.5, 10}};
+  s.counters = {{"rollbacks", 2}, {"skipped_batches", 1}};
+  s.model_params = {randn({2, 3}, rng), Tensor({4}, 0.5f)};
+  optim::OptimizerState opt;
+  opt.kind = "adam";
+  opt.step_count = 37;
+  opt.learning_rate = 0.001f;
+  opt.slots = {randn({2, 3}, rng), randn({4}, rng)};
+  s.optimizers = {opt};
+  Rng stream(9);
+  s.rng_streams = {{"trainer", stream.state()}, {"noise", stream.state()}};
+  s.has_batcher = true;
+  s.batcher.rng = stream.state();
+  s.batcher.order = {3, 1, 2, 0};
+  s.batcher.cursor = 2;
+  s.extra_tensors = {{"discriminator", {randn({3}, rng)}}};
+  return s;
+}
+
+void expect_states_equal(const TrainState& a, const TrainState& b) {
+  EXPECT_EQ(a.defense, b.defense);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.batch, b.batch);
+  EXPECT_EQ(a.loss_sum, b.loss_sum);
+  EXPECT_EQ(a.disc_sum, b.disc_sum);
+  ASSERT_EQ(a.completed_epochs.size(), b.completed_epochs.size());
+  for (std::size_t i = 0; i < a.completed_epochs.size(); ++i) {
+    EXPECT_EQ(a.completed_epochs[i].epoch, b.completed_epochs[i].epoch);
+    EXPECT_EQ(a.completed_epochs[i].classifier_loss,
+              b.completed_epochs[i].classifier_loss);
+    EXPECT_EQ(a.completed_epochs[i].batches, b.completed_epochs[i].batches);
+  }
+  EXPECT_EQ(a.counters, b.counters);
+  ASSERT_EQ(a.model_params.size(), b.model_params.size());
+  for (std::size_t i = 0; i < a.model_params.size(); ++i) {
+    EXPECT_TRUE(a.model_params[i].equals(b.model_params[i]));
+  }
+  ASSERT_EQ(a.optimizers.size(), b.optimizers.size());
+  for (std::size_t i = 0; i < a.optimizers.size(); ++i) {
+    EXPECT_EQ(a.optimizers[i].kind, b.optimizers[i].kind);
+    EXPECT_EQ(a.optimizers[i].step_count, b.optimizers[i].step_count);
+    EXPECT_EQ(a.optimizers[i].learning_rate, b.optimizers[i].learning_rate);
+    ASSERT_EQ(a.optimizers[i].slots.size(), b.optimizers[i].slots.size());
+    for (std::size_t j = 0; j < a.optimizers[i].slots.size(); ++j) {
+      EXPECT_TRUE(a.optimizers[i].slots[j].equals(b.optimizers[i].slots[j]));
+    }
+  }
+  EXPECT_EQ(a.rng_streams, b.rng_streams);
+  EXPECT_EQ(a.has_batcher, b.has_batcher);
+  EXPECT_EQ(a.batcher.rng, b.batcher.rng);
+  EXPECT_EQ(a.batcher.order, b.batcher.order);
+  EXPECT_EQ(a.batcher.cursor, b.batcher.cursor);
+  ASSERT_EQ(a.extra_tensors.size(), b.extra_tensors.size());
+  for (std::size_t i = 0; i < a.extra_tensors.size(); ++i) {
+    EXPECT_EQ(a.extra_tensors[i].first, b.extra_tensors[i].first);
+    ASSERT_EQ(a.extra_tensors[i].second.size(),
+              b.extra_tensors[i].second.size());
+    for (std::size_t j = 0; j < a.extra_tensors[i].second.size(); ++j) {
+      EXPECT_TRUE(
+          a.extra_tensors[i].second[j].equals(b.extra_tensors[i].second[j]));
+    }
+  }
+}
+
+TEST(TrainStateCodec, RoundTrip) {
+  const TrainState original = sample_state();
+  const TrainState decoded = decode_train_state(encode_train_state(original));
+  expect_states_equal(original, decoded);
+  EXPECT_EQ(decoded.counter_or("rollbacks"), 2);
+  EXPECT_EQ(decoded.counter_or("absent", -1), -1);
+  EXPECT_EQ(decoded.rng_stream("noise"), original.rng_streams[1].second);
+  EXPECT_THROW(decoded.rng_stream("missing"), SerializationError);
+  EXPECT_THROW(decoded.tensor_group("missing"), SerializationError);
+}
+
+TEST(TrainStateCodec, EveryTruncationThrows) {
+  const std::string bytes = encode_train_state(sample_state());
+  for (std::size_t n = 0; n < bytes.size(); n += 3) {
+    EXPECT_THROW(decode_train_state(bytes.substr(0, n)), SerializationError)
+        << "no error when truncated to " << n << " of " << bytes.size();
+  }
+  EXPECT_THROW(decode_train_state(bytes.substr(0, bytes.size() - 1)),
+               SerializationError);
+}
+
+TEST(TrainStateCodec, CorruptionIsNeverSilent) {
+  const TrainState original = sample_state();
+  const std::string bytes = encode_train_state(original);
+  std::int64_t rejected = 0;
+  for (std::size_t i = 0; i < bytes.size(); i += 3) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x55);
+    try {
+      // A flipped section tag downgrades that section to "unknown, skipped"
+      // (its CRC still matches), so decode may succeed — but then the result
+      // must visibly differ from the original; corruption never no-ops.
+      const TrainState decoded = decode_train_state(corrupted);
+      EXPECT_NE(encode_train_state(decoded), bytes)
+          << "flip at byte " << i << " was silently ignored";
+    } catch (const SerializationError&) {
+      ++rejected;
+    }
+  }
+  // The vast majority of flips must be caught by CRC/structure checks.
+  EXPECT_GT(rejected, static_cast<std::int64_t>(bytes.size() / 3 / 2));
+}
+
+TEST(TrainStateCodec, HeaderCorruptionMessages) {
+  const std::string bytes = encode_train_state(sample_state());
+  auto expect_error = [&](std::string mutated, const std::string& needle) {
+    try {
+      decode_train_state(mutated);
+      FAIL() << "expected SerializationError mentioning '" << needle << "'";
+    } catch (const SerializationError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'Q';
+  expect_error(bad_magic, "magic");
+  std::string bad_version = bytes;
+  bad_version[4] = 77;
+  expect_error(bad_version, "version");
+  std::string bad_sections = bytes;
+  bad_sections[8] = static_cast<char>(0xFF);
+  expect_error(bad_sections, "section count");
+  std::string bad_crc = bytes;
+  bad_crc[bytes.size() / 2] ^= 0x01;  // deep inside a payload
+  expect_error(bad_crc, "");          // any typed error is fine
+}
+
+TEST(TrainStateCodec, SaveLoadAndResumePointFallback) {
+  TempDir dir("resume");
+  TrainState s = sample_state();
+  s.epoch = 0;
+  const TrainState saved_older = s;
+  const std::string older = checkpoint_path(dir.path(), 0, 7);
+  save_train_state(older, s);
+  s.epoch = 1;
+  const std::string newer = checkpoint_path(dir.path(), 1, 2);
+  save_train_state(newer, s);
+
+  // A file path loads directly; a directory resolves to the newest.
+  expect_states_equal(load_train_state(older), saved_older);
+  EXPECT_EQ(load_resume_point(dir.path()).epoch, 1);
+
+  // Corrupt the newest: resume falls back to the older good snapshot.
+  std::string corrupted = slurp(newer);
+  corrupted[corrupted.size() / 2] ^= 0x20;
+  std::ofstream(newer, std::ios::binary) << corrupted;
+  EXPECT_EQ(load_resume_point(dir.path()).epoch, 0);
+
+  // Nothing loadable at all: typed error naming the directory.
+  TempDir empty("resume_empty");
+  EXPECT_THROW(load_resume_point(empty.path()), SerializationError);
+  EXPECT_THROW(load_train_state(empty.path() + "/absent.zkgc"),
+               SerializationError);
+}
+
+}  // namespace
+}  // namespace zkg::ckpt
+
+// --- Trainer-level fault tolerance ---
+
+namespace zkg::defense {
+namespace {
+
+namespace fs = std::filesystem;
+using zkg::ckpt::TempDir;
+
+data::Dataset small_train_set(std::int64_t n = 256) {
+  Rng rng(42);
+  return data::scale_pixels(data::make_synth_digits(n, rng));
+}
+
+models::Classifier fresh_model(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return models::build_lenet({1, 28, 28, 10}, models::Preset::kBench, rng);
+}
+
+TrainConfig quick_config(std::int64_t epochs = 3) {
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.gamma = 0.05f;
+  return config;
+}
+
+/// Requests a graceful stop after `batches` completed batches.
+class StopAfter : public TrainObserver {
+ public:
+  explicit StopAfter(std::int64_t batches) : remaining_(batches) {}
+  void on_batch_end(const Trainer&, std::int64_t, std::int64_t,
+                    const BatchStats&) override {
+    if (--remaining_ == 0) ckpt::request_stop();
+  }
+
+ private:
+  std::int64_t remaining_;
+};
+
+std::vector<Tensor> params_of(models::Classifier& model) {
+  return model.net().state();
+}
+
+void expect_params_identical(std::vector<Tensor> a, std::vector<Tensor> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].equals(b[i])) << "parameter tensor " << i << " differs";
+  }
+}
+
+template <typename TrainerT>
+void run_interrupt_resume_case(const char* tag, TrainConfig config,
+                               std::int64_t stop_after_batches) {
+  const data::Dataset train = small_train_set();
+
+  // Reference: one uninterrupted run.
+  models::Classifier ref_model = fresh_model();
+  TrainerT reference(ref_model, config);
+  const TrainResult ref_result = reference.fit(train);
+
+  // Interrupted run: same seeds, auto-checkpointing on, stop mid-epoch.
+  TempDir dir(tag);
+  TrainConfig interrupted_config = config;
+  interrupted_config.checkpoint.dir = dir.path();
+  models::Classifier mid_model = fresh_model();
+  {
+    TrainerT trainer(mid_model, interrupted_config);
+    StopAfter stopper(stop_after_batches);
+    trainer.add_observer(&stopper);
+    const TrainResult partial = trainer.fit(train);
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_LT(partial.epochs.size(), ref_result.epochs.size());
+  }
+  ckpt::clear_stop();
+  ASSERT_FALSE(ckpt::list_checkpoints(dir.path()).empty());
+
+  // Resumed run: fresh model + trainer, restored from the directory.
+  TrainConfig resume_config = interrupted_config;
+  resume_config.resume_from = dir.path();
+  models::Classifier resumed_model = fresh_model();
+  TrainerT resumed(resumed_model, resume_config);
+  const TrainResult result = resumed.fit(train);
+
+  EXPECT_FALSE(result.interrupted);
+  ASSERT_EQ(result.epochs.size(), ref_result.epochs.size());
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    EXPECT_EQ(result.epochs[i].classifier_loss,
+              ref_result.epochs[i].classifier_loss)
+        << "epoch " << i << " loss diverged";
+    EXPECT_EQ(result.epochs[i].discriminator_loss,
+              ref_result.epochs[i].discriminator_loss)
+        << "epoch " << i << " discriminator loss diverged";
+    EXPECT_EQ(result.epochs[i].batches, ref_result.epochs[i].batches);
+  }
+  expect_params_identical(params_of(resumed_model), params_of(ref_model));
+}
+
+TEST(InterruptResume, VanillaIsBitIdentical) {
+  // 256 examples / 32 = 8 batches per epoch; stop inside epoch 1.
+  run_interrupt_resume_case<VanillaTrainer>("vanilla", quick_config(3), 11);
+}
+
+TEST(InterruptResume, VanillaAtEpochBoundaryIsBitIdentical) {
+  run_interrupt_resume_case<VanillaTrainer>("vanilla_edge", quick_config(3),
+                                            8);
+}
+
+TEST(InterruptResume, ZkGanDefIsBitIdentical) {
+  TrainConfig config = quick_config(2);
+  run_interrupt_resume_case<ZkGanDefTrainer>("zkgandef", config, 5);
+}
+
+TEST(InterruptResume, ClsNoiseStreamSurvivesResume) {
+  run_interrupt_resume_case<ClsTrainer>("cls", quick_config(2), 5);
+}
+
+TEST(StateValidation, MismatchedDefenseOrSeedIsRejected) {
+  const data::Dataset train = small_train_set(64);
+  models::Classifier model_a = fresh_model();
+  VanillaTrainer vanilla(model_a, quick_config(1));
+  const ckpt::TrainState snapshot = vanilla.capture_state();
+
+  models::Classifier model_b = fresh_model();
+  ClsTrainer cls(model_b, quick_config(1));
+  EXPECT_THROW(cls.restore_state(snapshot), SerializationError);
+
+  TrainConfig other_seed = quick_config(1);
+  other_seed.seed = 2;
+  models::Classifier model_c = fresh_model();
+  VanillaTrainer reseeded(model_c, other_seed);
+  EXPECT_THROW(reseeded.restore_state(snapshot), SerializationError);
+}
+
+TEST(CheckpointObserverCadence, BatchCadenceRotatesToKeepLast) {
+  TempDir dir("cadence");
+  TrainConfig config = quick_config(2);
+  config.checkpoint.dir = dir.path();
+  config.checkpoint.every_batches = 2;
+  config.checkpoint.keep_last = 2;
+  models::Classifier model = fresh_model();
+  VanillaTrainer trainer(model, config);
+  trainer.fit(small_train_set(128));
+  const std::vector<std::string> kept = ckpt::list_checkpoints(dir.path());
+  EXPECT_LE(kept.size(), 2u);
+  ASSERT_FALSE(kept.empty());
+  // The newest checkpoint is the terminal one: cursor at (epochs, 0).
+  const ckpt::TrainState final_state = ckpt::load_resume_point(dir.path());
+  EXPECT_EQ(final_state.epoch, 2);
+  EXPECT_EQ(final_state.batch, 0);
+  EXPECT_EQ(final_state.completed_epochs.size(), 2u);
+}
+
+// --- NaN rollback ---
+
+/// Vanilla trainer that poisons a parameter and raises NonFiniteError on
+/// one specific train_batch call, simulating a divergent optimizer step.
+class FlakyTrainer : public VanillaTrainer {
+ public:
+  FlakyTrainer(models::Classifier& model, TrainConfig config,
+               std::int64_t fail_on_call)
+      : VanillaTrainer(model, config), fail_on_call_(fail_on_call) {}
+
+ protected:
+  BatchStats train_batch(const data::Batch& batch) override {
+    const BatchStats stats = VanillaTrainer::train_batch(batch);
+    if (++calls_ == fail_on_call_) {
+      model().parameters().front()->value()[0] =
+          std::numeric_limits<float>::quiet_NaN();
+      throw NonFiniteError("injected non-finite parameter", "test",
+                           "optimizer-step");
+    }
+    return stats;
+  }
+
+ private:
+  std::int64_t fail_on_call_ = 0;
+  std::int64_t calls_ = 0;
+};
+
+bool all_params_finite(models::Classifier& model) {
+  for (const Tensor& t : model.net().state()) {
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      if (!std::isfinite(t[i])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(NanRollback, DisabledPolicyRethrows) {
+  models::Classifier model = fresh_model();
+  FlakyTrainer trainer(model, quick_config(1), 3);
+  EXPECT_THROW(trainer.fit(small_train_set(128)), NonFiniteError);
+}
+
+TEST(NanRollback, SkipBatchRecoversAndCompletes) {
+  // ZKG_COUNT sites only record while telemetry is enabled.
+  obs::Telemetry::global().set_enabled(true);
+  const std::uint64_t rollbacks_before =
+      obs::Telemetry::global().counter("train.rollbacks").value();
+  TrainConfig config = quick_config(2);
+  config.rollback.max_retries = 3;  // skip_batch defaults to true
+  models::Classifier model = fresh_model();
+  FlakyTrainer trainer(model, config, 5);
+  const TrainResult result = trainer.fit(small_train_set(128));
+  obs::Telemetry::global().set_enabled(false);
+
+  EXPECT_EQ(trainer.rollback_count(), 1);
+  EXPECT_EQ(trainer.skipped_batch_count(), 1);
+  EXPECT_TRUE(all_params_finite(model));
+  ASSERT_EQ(result.epochs.size(), 2u);
+  // 128/32 = 4 batches per epoch; the poisoned one was dropped in epoch 1.
+  EXPECT_EQ(result.epochs[0].batches + result.epochs[1].batches, 7);
+  // Recoveries are visible in telemetry.
+  EXPECT_EQ(obs::Telemetry::global().counter("train.rollbacks").value(),
+            rollbacks_before + 1);
+}
+
+TEST(NanRollback, RetryWithLrDecayShrinksTheStep) {
+  TrainConfig config = quick_config(1);
+  config.rollback.max_retries = 2;
+  config.rollback.skip_batch = false;  // retry the batch instead
+  config.rollback.lr_decay = 0.5f;
+  models::Classifier model = fresh_model();
+  FlakyTrainer trainer(model, config, 2);
+  const TrainResult result = trainer.fit(small_train_set(128));
+
+  EXPECT_EQ(trainer.rollback_count(), 1);
+  EXPECT_EQ(trainer.skipped_batch_count(), 0);
+  // The retried batch counts: no batch was lost.
+  ASSERT_EQ(result.epochs.size(), 1u);
+  EXPECT_EQ(result.epochs[0].batches, 4);
+  // The decayed learning rate is part of the captured state.
+  const ckpt::TrainState state = trainer.capture_state();
+  ASSERT_FALSE(state.optimizers.empty());
+  EXPECT_FLOAT_EQ(state.optimizers[0].learning_rate,
+                  config.learning_rate * 0.5f);
+  EXPECT_TRUE(all_params_finite(model));
+}
+
+TEST(NanRollback, BudgetExhaustionRethrows) {
+  TrainConfig config = quick_config(1);
+  config.rollback.max_retries = 1;
+  config.rollback.skip_batch = false;
+  config.rollback.lr_decay = 0.5f;
+  models::Classifier model = fresh_model();
+  // Fails on every call from the 2nd on: one recovery, then budget is gone.
+  class AlwaysFlaky : public VanillaTrainer {
+   public:
+    AlwaysFlaky(models::Classifier& m, TrainConfig c) : VanillaTrainer(m, c) {}
+
+   protected:
+    BatchStats train_batch(const data::Batch& batch) override {
+      const BatchStats stats = VanillaTrainer::train_batch(batch);
+      if (++calls_ >= 2) {
+        throw NonFiniteError("injected", "test", "loss");
+      }
+      return stats;
+    }
+
+   private:
+    std::int64_t calls_ = 0;
+  };
+  AlwaysFlaky trainer(model, config);
+  EXPECT_THROW(trainer.fit(small_train_set(128)), NonFiniteError);
+  EXPECT_EQ(trainer.rollback_count(), 1);
+}
+
+}  // namespace
+}  // namespace zkg::defense

@@ -139,6 +139,83 @@ TEST(Serialize, VectorRoundTripAndCorruption) {
   EXPECT_THROW(read_tensor(half), SerializationError);
 }
 
+// Corruption matrix for the hardened readers: every truncation point and
+// each header field flipped must raise a typed SerializationError — never a
+// garbage tensor, never a crash.
+TEST(Serialize, TruncationAtEveryByteThrows) {
+  Rng rng(11);
+  std::stringstream buffer;
+  write_tensor(buffer, randn({2, 3}, rng));
+  const std::string full = buffer.str();
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    std::stringstream cut(full.substr(0, n));
+    EXPECT_THROW(read_tensor(cut), SerializationError)
+        << "no error when truncated to " << n << " of " << full.size()
+        << " bytes";
+  }
+  std::stringstream whole(full);
+  EXPECT_NO_THROW(read_tensor(whole));
+}
+
+TEST(Serialize, CorruptHeaderFieldsThrowWithContext) {
+  Rng rng(12);
+  std::stringstream buffer;
+  write_tensor(buffer, randn({2, 3}, rng));
+  const std::string good = buffer.str();
+
+  auto expect_error_containing = [](const std::string& bytes,
+                                    const std::string& needle) {
+    std::stringstream in(bytes);
+    try {
+      read_tensor(in);
+      FAIL() << "expected SerializationError mentioning '" << needle << "'";
+    } catch (const SerializationError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  expect_error_containing(bad_magic, "magic");
+
+  std::string bad_version = good;
+  bad_version[4] = 9;  // version u32 at offset 4
+  expect_error_containing(bad_version, "version");
+
+  std::string bad_rank = good;
+  bad_rank[8] = 100;  // rank u32 at offset 8
+  expect_error_containing(bad_rank, "rank");
+
+  std::string negative_dim = good;
+  negative_dim[12 + 7] = static_cast<char>(0xFF);  // dims[0] sign byte
+  expect_error_containing(negative_dim, "negative dimension");
+
+  std::string huge_dim = good;
+  huge_dim[12 + 5] = 0x7F;  // dims[0] ~ 2^46: overflows the element limit
+  expect_error_containing(huge_dim, "implausible tensor size");
+
+  // Errors carry the byte offset for debugging partial files.
+  std::string truncated = good.substr(0, good.size() - 3);
+  expect_error_containing(truncated, "at byte");
+}
+
+TEST(Serialize, VectorErrorsNameTheFailingTensor) {
+  Rng rng(13);
+  std::stringstream buffer;
+  write_tensors(buffer, {randn({2}, rng), randn({3}, rng)});
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 4);  // cut into tensor 1's data
+  std::stringstream in(bytes);
+  try {
+    read_tensors(in);
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("tensor 1 of 2"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
 TEST(Serialize, FileHelpers) {
   const std::string path = "/tmp/zkg_test_tensors.bin";
   Rng rng(10);

@@ -106,6 +106,93 @@ TEST(ClipGradNorm, ScalesOnlyWhenAboveThreshold) {
   EXPECT_THROW(clip_grad_norm({&p}, 0.0f), InvalidArgument);
 }
 
+// --- Optimizer state round-trips (checkpoint/resume, DESIGN.md §11) ---
+
+// Deterministic synthetic gradient for step `step`.
+Tensor grad_for(std::int64_t step, std::int64_t n) {
+  Tensor g({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    g[i] = 0.01f * static_cast<float>(step + 1) *
+           (i % 2 == 0 ? 1.0f : -1.0f);
+  }
+  return g;
+}
+
+template <typename Opt>
+void drive(Opt& opt, nn::Parameter& p, std::int64_t from, std::int64_t to) {
+  for (std::int64_t s = from; s < to; ++s) {
+    p.zero_grad();
+    p.accumulate_grad(grad_for(s, p.numel()));
+    opt.step();
+  }
+}
+
+TEST(OptimizerState, AdamRoundTripIsBitIdentical) {
+  nn::Parameter a = make_param({1.0f, -2.0f, 3.0f, 0.5f});
+  Adam opt_a({&a}, {.learning_rate = 0.05f});
+  drive(opt_a, a, 0, 5);
+
+  // Clone the parameter values and restore the optimizer snapshot onto a
+  // fresh Adam; both must step bit-identically from here on.
+  const OptimizerState snapshot = opt_a.state();
+  EXPECT_EQ(snapshot.kind, "adam");
+  EXPECT_EQ(snapshot.step_count, 5);
+  EXPECT_FLOAT_EQ(snapshot.learning_rate, 0.05f);
+  ASSERT_EQ(snapshot.slots.size(), 2u);  // m and v for the one parameter
+
+  nn::Parameter b("p", a.value());
+  Adam opt_b({&b}, {.learning_rate = 0.9f});  // deliberately different lr
+  opt_b.load_state(snapshot);
+  EXPECT_FLOAT_EQ(opt_b.learning_rate(), 0.05f);
+  EXPECT_EQ(opt_b.step_count(), 5);
+
+  drive(opt_a, a, 5, 9);
+  drive(opt_b, b, 5, 9);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]) << "diverged at index " << i;
+  }
+}
+
+TEST(OptimizerState, SgdMomentumRoundTripIsBitIdentical) {
+  nn::Parameter a = make_param({4.0f, -1.0f});
+  Sgd opt_a({&a}, {.learning_rate = 0.1f, .momentum = 0.9f});
+  drive(opt_a, a, 0, 4);
+
+  const OptimizerState snapshot = opt_a.state();
+  EXPECT_EQ(snapshot.kind, "sgd");
+  ASSERT_EQ(snapshot.slots.size(), 1u);  // velocity buffer
+
+  nn::Parameter b("p", a.value());
+  Sgd opt_b({&b}, {.learning_rate = 0.1f, .momentum = 0.9f});
+  opt_b.load_state(snapshot);
+
+  drive(opt_a, a, 4, 8);
+  drive(opt_b, b, 4, 8);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]) << "diverged at index " << i;
+  }
+}
+
+TEST(OptimizerState, LoadRejectsMismatches) {
+  nn::Parameter p = make_param({1.0f, 2.0f});
+  Adam adam({&p});
+  Sgd sgd({&p}, {.learning_rate = 0.1f, .momentum = 0.9f});
+
+  // Wrong kind.
+  EXPECT_THROW(sgd.load_state(adam.state()), SerializationError);
+  EXPECT_THROW(adam.load_state(sgd.state()), SerializationError);
+
+  // Wrong slot shape (snapshot from a differently-sized parameter set).
+  nn::Parameter other = make_param({1.0f, 2.0f, 3.0f});
+  Adam adam_other({&other});
+  EXPECT_THROW(adam.load_state(adam_other.state()), SerializationError);
+
+  // Corrupted slot count.
+  OptimizerState broken = adam.state();
+  broken.slots.pop_back();
+  EXPECT_THROW(adam.load_state(broken), SerializationError);
+}
+
 TEST(Schedules, Constant) {
   const ConstantLr schedule;
   EXPECT_FLOAT_EQ(schedule.rate_for(0, 0.1f), 0.1f);

@@ -15,6 +15,11 @@ Enforces repo invariants that clang-tidy cannot express:
                         to a caller-provided destination.
   void-cast-unused      `(void)x;` unused-marking is banned in favour of
                         [[maybe_unused]].
+  atomic-write          direct std::ofstream writes are confined to the
+                        crash-safe writer layer (src/ckpt/ and
+                        src/tensor/serialize.cpp); everything that persists
+                        state a crash could corrupt must go through
+                        zkg::ckpt::atomic_write_file.
 
 A finding can be waived for one line with a trailing comment:
 
@@ -39,6 +44,15 @@ PARALLEL_LAYER = {
     "src/common/threadpool.hpp",
 }
 
+# Files allowed to open std::ofstream directly: the crash-safe checkpoint
+# writer itself, and the tensor serializer it builds on. Anything else that
+# writes files must use zkg::ckpt::atomic_write_file (tmp + fsync + rename)
+# or carry an explicit waiver for output a crash is allowed to truncate.
+ATOMIC_WRITE_LAYER_PREFIX = "src/ckpt/"
+ATOMIC_WRITE_LAYER = {
+    "src/tensor/serialize.cpp",
+}
+
 WAIVER = re.compile(r"//\s*zkg-lint:\s*allow\(([a-z-]+)\)")
 
 RULE_PARALLEL = re.compile(
@@ -53,6 +67,7 @@ RULE_MALLOC = re.compile(r"\b(std::)?(malloc|calloc|realloc|free)\s*\(")
 RULE_EXIT = re.compile(r"(?<![\w.:])(std::)?(exit|abort|_Exit|quick_exit)\s*\(")
 RULE_TERMINATE = re.compile(r"\bstd::terminate\s*\(")
 RULE_VOID_CAST = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w.\->\[\]]*\s*;")
+RULE_OFSTREAM = re.compile(r"\bstd::ofstream\b")
 
 # `= delete;` / `= delete("...")` special member suppression is not the
 # deallocation operator.
@@ -167,6 +182,16 @@ def lint_file(path: Path) -> list[Finding]:
             report(
                 "void-cast-unused",
                 "(void)x; unused-marking is banned; use [[maybe_unused]]",
+            )
+        if (
+            not rel.startswith(ATOMIC_WRITE_LAYER_PREFIX)
+            and rel not in ATOMIC_WRITE_LAYER
+            and RULE_OFSTREAM.search(code)
+        ):
+            report(
+                "atomic-write",
+                "direct std::ofstream outside the crash-safe writer layer; "
+                "use zkg::ckpt::atomic_write_file",
             )
     return findings
 
