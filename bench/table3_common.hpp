@@ -13,6 +13,10 @@ namespace zkg::bench {
 inline int run_table3_binary(data::DatasetId id) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(env_or_int("ZKG_SEED", 20190417));
+  // ZKG_JOBS=<n> trains the defenses as n concurrent scheduler jobs
+  // (bit-identical rows — see eval/scheduler.hpp); 1 keeps the serial loop.
+  const unsigned jobs =
+      static_cast<unsigned>(env_or_int("ZKG_JOBS", 1));
   const eval::ExperimentScale scale = eval::scale_for(id);
 
   std::cout << "=== Paper Table III / Figure 4 — " << data::dataset_name(id)
@@ -22,10 +26,10 @@ inline int run_table3_binary(data::DatasetId id) {
                                                              : "bench")
             << ", train=" << scale.train_samples
             << ", test=" << scale.test_samples << ", epochs=" << scale.epochs
-            << ", eps=" << scale.fgsm.epsilon << "\n\n";
+            << ", eps=" << scale.fgsm.epsilon << ", jobs=" << jobs << "\n\n";
 
   const eval::Table3Result result =
-      eval::run_table3(id, defense::all_defenses(), seed);
+      eval::run_table3(id, defense::all_defenses(), seed, jobs);
 
   std::cout << "Table III (test accuracy):\n"
             << result.accuracy_table().to_text() << "\n"

@@ -8,12 +8,20 @@
 #                                    # plus <dir>/<bench>.train.jsonl with
 #                                    # per-epoch records where the bench
 #                                    # trains models (DESIGN.md §9)
+#   ./run_benches.sh --jobs <n>      # sweep mode: run only bench_sweep with
+#                                    # n concurrent scheduler jobs and record
+#                                    # the perf trajectory (epoch wall-clock,
+#                                    # batches/sec, pool hit/miss counters,
+#                                    # serial-vs-parallel speedup) to
+#                                    # BENCH_sweep.json (DESIGN.md §12)
 #
 # Kernel parallelism: every binary runs on the zkg::parallel_for backend
 # chosen at configure time (OpenMP or the in-tree thread pool; the cmake
 # configure step prints "zkg: parallel backend = ..."). ZKG_THREADS=<n>
 # overrides the worker count, e.g. `ZKG_THREADS=8 ./run_benches.sh`.
 # bench_kernels prints a serial-vs-parallel speedup report on startup.
+# ZKG_JOBS=<n> additionally parallelizes the Table III/IV and Figure 5
+# drivers at the experiment level (n concurrent training jobs).
 #
 # To run the threadpool stress tests under ThreadSanitizer (the OpenMP
 # runtime produces TSan false positives, so use the pool backend):
@@ -21,13 +29,30 @@
 #   cmake --build build-tsan -j
 #   ctest --test-dir build-tsan -R test_threadpool --output-on-failure
 TRACE_DIR=""
+SWEEP_JOBS=""
 if [ "$1" = "--trace" ]; then
   if [ -z "$2" ]; then
-    echo "usage: $0 [--trace <dir>]" >&2
+    echo "usage: $0 [--trace <dir>] [--jobs <n>]" >&2
     exit 2
   fi
   TRACE_DIR="$2"
   mkdir -p "$TRACE_DIR"
+elif [ "$1" = "--jobs" ]; then
+  if [ -z "$2" ]; then
+    echo "usage: $0 [--trace <dir>] [--jobs <n>]" >&2
+    exit 2
+  fi
+  SWEEP_JOBS="$2"
+fi
+
+if [ -n "$SWEEP_JOBS" ]; then
+  echo "### build/bench/bench_sweep (jobs=$SWEEP_JOBS)"
+  ZKG_JOBS="$SWEEP_JOBS" ZKG_BENCH_JSON="BENCH_sweep.json" \
+    build/bench/bench_sweep || exit 1
+  echo ""
+  echo "perf trajectory: BENCH_sweep.json"
+  echo "ALL BENCHES COMPLETE"
+  exit 0
 fi
 
 for b in build/bench/*; do

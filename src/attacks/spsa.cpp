@@ -1,19 +1,22 @@
 #include "attacks/spsa.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 
 namespace zkg::attacks {
 namespace {
 
 // Per-example margin loss from logits only (no gradients): the attacker
 // maximises  max_{k != t} z_k - z_t.
-std::vector<float> margin_loss(const Tensor& logits,
-                               const std::vector<std::int64_t>& labels) {
+void margin_loss_into(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels,
+                      std::vector<float>& losses) {
   const std::int64_t batch = logits.dim(0);
   const std::int64_t classes = logits.dim(1);
-  std::vector<float> losses(static_cast<std::size_t>(batch));
+  losses.resize(static_cast<std::size_t>(batch));
   for (std::int64_t i = 0; i < batch; ++i) {
     const std::int64_t label = labels[static_cast<std::size_t>(i)];
     float best_other = -std::numeric_limits<float>::infinity();
@@ -24,7 +27,6 @@ std::vector<float> margin_loss(const Tensor& logits,
     losses[static_cast<std::size_t>(i)] =
         best_other - logits[i * classes + label];
   }
-  return losses;
 }
 
 }  // namespace
@@ -40,44 +42,57 @@ Spsa::Spsa(AttackBudget budget, Rng& rng, float delta, std::int64_t samples)
 
 Tensor Spsa::generate(models::Classifier& model, const Tensor& images,
                       const std::vector<std::int64_t>& labels) {
+  Tensor adv;
+  generate_into(model, images, labels, adv);
+  return adv;
+}
+
+void Spsa::generate_into(models::Classifier& model, const Tensor& images,
+                         const std::vector<std::int64_t>& labels,
+                         Tensor& adv) {
   const std::int64_t batch = images.dim(0);
   const std::int64_t stride = images.numel() / batch;
 
-  Tensor adv = images;
+  ensure_shape(adv, images.shape());
+  std::copy(images.data(), images.data() + images.numel(), adv.data());
+  ensure_shape(direction_, images.shape());
+  ensure_shape(probe_, images.shape());
+  ensure_shape(grad_estimate_, images.shape());
+
   for (std::int64_t it = 0; it < budget_.iterations; ++it) {
-    Tensor grad_estimate(images.shape());
+    std::fill(grad_estimate_.data(),
+              grad_estimate_.data() + grad_estimate_.numel(), 0.0f);
     for (std::int64_t s = 0; s < samples_; ++s) {
       // Rademacher probe direction.
-      Tensor direction(images.shape());
-      for (std::int64_t p = 0; p < direction.numel(); ++p) {
-        direction[p] = rng_.bernoulli(0.5f) ? 1.0f : -1.0f;
+      for (std::int64_t p = 0; p < direction_.numel(); ++p) {
+        direction_[p] = rng_.bernoulli(0.5f) ? 1.0f : -1.0f;
       }
-      Tensor plus = adv;
-      axpy_(plus, delta_, direction);
-      Tensor minus = adv;
-      axpy_(minus, -delta_, direction);
+      // Query-only access: forward passes, no backward. One probe buffer
+      // serves both sides of the finite difference.
+      std::copy(adv.data(), adv.data() + adv.numel(), probe_.data());
+      axpy_(probe_, delta_, direction_);
+      model.forward_into(probe_, logits_, /*training=*/false);
+      margin_loss_into(logits_, labels, loss_plus_);
 
-      // Query-only access: forward passes, no backward.
-      const std::vector<float> loss_plus =
-          margin_loss(model.forward(plus, /*training=*/false), labels);
-      const std::vector<float> loss_minus =
-          margin_loss(model.forward(minus, /*training=*/false), labels);
+      std::copy(adv.data(), adv.data() + adv.numel(), probe_.data());
+      axpy_(probe_, -delta_, direction_);
+      model.forward_into(probe_, logits_, /*training=*/false);
+      margin_loss_into(logits_, labels, loss_minus_);
 
       for (std::int64_t i = 0; i < batch; ++i) {
         const float scale =
-            (loss_plus[static_cast<std::size_t>(i)] -
-             loss_minus[static_cast<std::size_t>(i)]) /
+            (loss_plus_[static_cast<std::size_t>(i)] -
+             loss_minus_[static_cast<std::size_t>(i)]) /
             (2.0f * delta_);
-        float* g = grad_estimate.data() + i * stride;
-        const float* d = direction.data() + i * stride;
+        float* g = grad_estimate_.data() + i * stride;
+        const float* d = direction_.data() + i * stride;
         // d(loss)/dx_j ~= scale / d_j = scale * d_j (Rademacher: d_j = ±1).
         for (std::int64_t p = 0; p < stride; ++p) g[p] += scale * d[p];
       }
     }
-    axpy_(adv, budget_.step_size, sign(grad_estimate));
+    add_scaled_sign_(adv, budget_.step_size, grad_estimate_);
     project_linf_(adv, images, budget_.epsilon);
   }
-  return adv;
 }
 
 }  // namespace zkg::attacks

@@ -25,12 +25,27 @@ class Spsa : public Attack {
   std::string name() const override { return "SPSA"; }
   Tensor generate(models::Classifier& model, const Tensor& images,
                   const std::vector<std::int64_t>& labels) override;
+  /// Fully in-place: probe directions, perturbed copies, logits and the
+  /// gradient estimate all live in persistent member scratch, so repeated
+  /// calls at a stable batch shape are pool-miss-free (the PR 2 steady-state
+  /// contract; see tests/test_workspace.cpp).
+  void generate_into(models::Classifier& model, const Tensor& images,
+                     const std::vector<std::int64_t>& labels,
+                     Tensor& adv) override;
+  void collect_rngs(std::vector<Rng*>& out) override { out.push_back(&rng_); }
 
  private:
   AttackBudget budget_;
   Rng rng_;
   float delta_;
   std::int64_t samples_;
+  // Per-probe temporaries reused across iterations and calls.
+  Tensor direction_;
+  Tensor probe_;
+  Tensor grad_estimate_;
+  Tensor logits_;
+  std::vector<float> loss_plus_;
+  std::vector<float> loss_minus_;
 };
 
 }  // namespace zkg::attacks

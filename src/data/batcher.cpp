@@ -24,20 +24,25 @@ void Batcher::start_epoch() {
   cursor_ = 0;
 }
 
-std::optional<Batch> Batcher::next() {
+bool Batcher::next_into(Batch& out) {
   const auto total = static_cast<std::int64_t>(order_.size());
-  if (cursor_ >= total) return std::nullopt;
+  if (cursor_ >= total) return false;
   const std::int64_t end = std::min(cursor_ + batch_size_, total);
-  const std::vector<std::int64_t> indices(order_.begin() + cursor_,
-                                          order_.begin() + end);
+  batch_indices_.assign(order_.begin() + cursor_, order_.begin() + end);
   cursor_ = end;
 
-  Batch batch;
-  batch.images = gather_rows(dataset_.images, indices);
-  batch.labels.reserve(indices.size());
-  for (const std::int64_t i : indices) {
-    batch.labels.push_back(dataset_.labels[static_cast<std::size_t>(i)]);
+  gather_rows_into(out.images, dataset_.images, batch_indices_);
+  out.labels.clear();
+  out.labels.reserve(batch_indices_.size());
+  for (const std::int64_t i : batch_indices_) {
+    out.labels.push_back(dataset_.labels[static_cast<std::size_t>(i)]);
   }
+  return true;
+}
+
+std::optional<Batch> Batcher::next() {
+  Batch batch;
+  if (!next_into(batch)) return std::nullopt;
   return batch;
 }
 
@@ -62,12 +67,22 @@ void Batcher::load_state(const BatcherState& state) {
         std::to_string(state.order.size()) + " entries for a dataset of " +
         std::to_string(n));
   }
+  // The order must be a true permutation of [0, n): a corrupted or forged
+  // snapshot with duplicate indices would otherwise resume silently,
+  // double-sampling some examples and never visiting others.
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
   for (const std::int64_t i : state.order) {
     if (i < 0 || i >= n) {
       throw SerializationError("Batcher::load_state: index " +
                                std::to_string(i) + " outside dataset of " +
                                std::to_string(n));
     }
+    if (seen[static_cast<std::size_t>(i)]) {
+      throw SerializationError(
+          "Batcher::load_state: order is not a permutation — index " +
+          std::to_string(i) + " appears more than once");
+    }
+    seen[static_cast<std::size_t>(i)] = true;
   }
   if (state.cursor < 0 || state.cursor > n) {
     throw SerializationError("Batcher::load_state: cursor " +

@@ -6,6 +6,7 @@
 #include "ckpt/signal.hpp"
 #include "common/env.hpp"
 #include "common/stopwatch.hpp"
+#include "data/prefetch_batcher.hpp"
 #include "defense/checkpointing.hpp"
 #include "defense/observer.hpp"
 #include "obs/telemetry.hpp"
@@ -106,9 +107,11 @@ bool TrainResult::converged() const {
 
 Trainer::Trainer(models::Classifier& model, TrainConfig config)
     : model_(model), config_(config), rng_(config.seed) {
-  // Per-process overrides (ZKG_CKPT_*) land before validation so a bad env
-  // value fails as loudly as a bad config field.
+  // Per-process overrides (ZKG_CKPT_*, ZKG_PREFETCH) land before validation
+  // so a bad env value fails as loudly as a bad config field.
   config_.checkpoint = ckpt::checkpoint_config_from_env(config_.checkpoint);
+  config_.prefetch =
+      env_or_int("ZKG_PREFETCH", config_.prefetch ? 1 : 0) != 0;
   config_.validate();
   optimizer_ = std::make_unique<optim::Adam>(
       model_.parameters(), optim::AdamConfig{.learning_rate =
@@ -276,7 +279,7 @@ void Trainer::run_batch(const data::Batch& batch) {
   }
 }
 
-EpochStats Trainer::fit_epoch(data::Batcher& batcher,
+EpochStats Trainer::fit_epoch(data::BatchSource& source,
                               std::int64_t epoch_index) {
   ZKG_SPAN("train.epoch");
   Stopwatch watch;
@@ -286,7 +289,7 @@ EpochStats Trainer::fit_epoch(data::Batcher& batcher,
     // would replay or drop batches.
     resume_mid_epoch_ = false;
   } else {
-    batcher.start_epoch();
+    source.start_epoch();
     cur_batch_ = 0;
     loss_sum_ = 0.0;
     disc_sum_ = 0.0;
@@ -300,13 +303,13 @@ EpochStats Trainer::fit_epoch(data::Batcher& batcher,
       interrupted_ = true;
       break;
     }
-    std::optional<data::Batch> batch;
+    bool have_batch = false;
     {
       ZKG_SPAN("train.batch_fetch");
-      batch = batcher.next();
+      have_batch = source.next_into(fit_batch_);
     }
-    if (!batch) break;
-    run_batch(*batch);
+    if (!have_batch) break;
+    run_batch(fit_batch_);
   }
   EpochStats stats;
   stats.epoch = epoch_index;
@@ -342,8 +345,17 @@ TrainResult Trainer::fit(const data::Dataset& train) {
   if (env_or_int("ZKG_CKPT_HANDLE_SIGNALS", 0) != 0) {
     ckpt::install_signal_handlers();
   }
-  data::Batcher batcher(train, config_.batch_size, rng_);
-  active_batcher_ = &batcher;
+  // Both sources fork rng_ exactly once and share the shuffle-stream
+  // semantics, so the prefetching pipeline trains bit-identically to the
+  // synchronous one (DESIGN.md §12; tests/test_pipeline.cpp).
+  std::unique_ptr<data::BatchSource> source;
+  if (config_.prefetch) {
+    source = std::make_unique<data::PrefetchBatcher>(train, config_.batch_size,
+                                                     rng_);
+  } else {
+    source = std::make_unique<data::Batcher>(train, config_.batch_size, rng_);
+  }
+  active_batcher_ = source.get();
   cur_epoch_ = 0;
   cur_batch_ = 0;
   loss_sum_ = 0.0;
@@ -366,7 +378,7 @@ TrainResult Trainer::fit(const data::Dataset& train) {
   }
   Stopwatch watch;
   for (std::int64_t epoch = cur_epoch_; epoch < config_.epochs; ++epoch) {
-    const EpochStats stats = fit_epoch(batcher, epoch);
+    const EpochStats stats = fit_epoch(*source, epoch);
     if (interrupted_) break;
     result.epochs.push_back(stats);
   }

@@ -66,6 +66,13 @@ struct TrainConfig {
 
   std::uint64_t seed = 1;
 
+  /// Async data pipeline (DESIGN.md §12): fit() iterates a PrefetchBatcher
+  /// that gathers batch N+1 on the thread pool while train_batch consumes
+  /// batch N. Bit-identical to the synchronous Batcher (same RNG fork, same
+  /// shuffle stream, checkpoint-exact mid-epoch state). Overridable
+  /// per-process via ZKG_PREFETCH=0/1 (applied in the Trainer constructor).
+  bool prefetch = false;
+
   /// Deprecated: installs a ConsoleProgressObserver on the trainer so old
   /// call sites keep their per-epoch log lines. New code should attach a
   /// TrainObserver via Trainer::add_observer() instead.
@@ -178,9 +185,10 @@ class Trainer {
   /// on_train_interrupted and returns with TrainResult::interrupted set.
   TrainResult fit(const data::Dataset& train);
 
-  /// Runs exactly one epoch; exposed for convergence studies. Fires
+  /// Runs exactly one epoch over any batch stream (the synchronous Batcher
+  /// or a PrefetchBatcher); exposed for convergence studies. Fires
   /// on_batch_end/on_epoch_end but not the train begin/end events.
-  EpochStats fit_epoch(data::Batcher& batcher, std::int64_t epoch_index);
+  EpochStats fit_epoch(data::BatchSource& source, std::int64_t epoch_index);
 
   /// Registers a non-owning observer; it must outlive the trainer. The
   /// config.verbose shim installs an owned ConsoleProgressObserver first,
@@ -260,7 +268,8 @@ class Trainer {
   std::unique_ptr<TrainObserver> ckpt_shim_;
 
   // Resume cursor + partial-epoch accumulators (captured into TrainState).
-  data::Batcher* active_batcher_ = nullptr;  // non-null only inside fit()
+  data::BatchSource* active_batcher_ = nullptr;  // non-null only inside fit()
+  data::Batch fit_batch_;  // persistent batch buffer (pooled, reused)
   std::int64_t cur_epoch_ = 0;
   std::int64_t cur_batch_ = 0;  // batches completed within cur_epoch_
   double loss_sum_ = 0.0;

@@ -14,6 +14,7 @@
 #include "data/preprocess.hpp"
 #include "defense/cls.hpp"
 #include "defense/zk_gandef.hpp"
+#include "eval/scheduler.hpp"
 #include "models/allcnn.hpp"
 #include "models/lenet.hpp"
 
@@ -34,8 +35,10 @@ attacks::AttackBudget budget(float eps, float step, std::int64_t iters,
   return b;
 }
 
-defense::TrainConfig base_config(const ExperimentScale& scale,
-                                 std::uint64_t seed) {
+}  // namespace
+
+defense::TrainConfig base_train_config(const ExperimentScale& scale,
+                                       std::uint64_t seed) {
   defense::TrainConfig config;
   config.epochs = scale.epochs;
   config.batch_size = scale.batch_size;
@@ -46,8 +49,6 @@ defense::TrainConfig base_config(const ExperimentScale& scale,
   config.seed = seed + 17;
   return config;
 }
-
-}  // namespace
 
 ExperimentScale scale_for(data::DatasetId id) {
   const bool paper = paper_preset_requested();
@@ -213,7 +214,30 @@ std::string Table3Result::headline_summary() const {
 
 Table3Result run_table3(data::DatasetId id,
                         const std::vector<defense::DefenseId>& defenses,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, unsigned jobs) {
+  if (jobs != 1) {
+    // Scheduler-backed path: one job per defense, same RNG derivations as
+    // the serial loop below, rows kept in `defenses` order.
+    std::vector<SweepCell> cells;
+    cells.reserve(defenses.size());
+    for (const defense::DefenseId defense_id : defenses) {
+      cells.push_back(SweepCell{defense_id, id, seed});
+    }
+    SweepOptions options;
+    options.jobs = jobs;
+    const std::vector<SweepRun> sweep = run_sweep(cells, options);
+    Table3Result result;
+    result.dataset = id;
+    for (const SweepRun& run : sweep) {
+      if (!run.ok) {
+        throw Error("run_table3: sweep cell " + run.name +
+                    " failed: " + run.error);
+      }
+      result.rows.push_back(run.run);
+    }
+    return result;
+  }
+
   const ExperimentScale scale = scale_for(id);
   Rng data_rng(seed);
   const PreparedData data = prepare_data(id, scale, data_rng);
@@ -227,7 +251,7 @@ Table3Result run_table3(data::DatasetId id,
     Rng model_rng(seed ^ 0x6d0de1ULL);
     models::Classifier model = build_model_for(id, scale, model_rng);
 
-    const defense::TrainConfig config = base_config(scale, seed);
+    const defense::TrainConfig config = base_train_config(scale, seed);
     defense::TrainerPtr trainer =
         defense::make_trainer(defense_id, model, config);
 
@@ -267,7 +291,7 @@ Table4Row run_table4(data::DatasetId id, std::uint64_t seed) {
   Rng model_rng(seed ^ 0x6d0de1ULL);
   models::Classifier model = build_model_for(id, scale, model_rng);
 
-  const defense::TrainConfig config = base_config(scale, seed);
+  const defense::TrainConfig config = base_train_config(scale, seed);
   defense::ZkGanDefTrainer trainer(model, config);
   trainer.fit(data.train);
 
@@ -317,7 +341,7 @@ std::vector<TrainingTimeRow> run_training_time(
     Rng model_rng(seed ^ 0x6d0de1ULL);
     models::Classifier model = build_model_for(id, scale, model_rng);
 
-    const defense::TrainConfig config = base_config(scale, seed);
+    const defense::TrainConfig config = base_train_config(scale, seed);
     defense::TrainerPtr trainer =
         defense::make_trainer(defense_id, model, config);
     if (observer != nullptr) trainer->add_observer(observer);
@@ -346,7 +370,7 @@ std::vector<LossCurve> run_cls_convergence(data::DatasetId id,
     Rng model_rng(seed ^ 0x6d0de1ULL);
     models::Classifier model = build_model_for(id, scale, model_rng);
 
-    defense::TrainConfig config = base_config(scale, seed);
+    defense::TrainConfig config = base_train_config(scale, seed);
     config.sigma = sigma;
     config.lambda = lambda;
     defense::ClsTrainer trainer(model, config);
@@ -381,7 +405,7 @@ std::vector<AblationPoint> run_zk_sweep(
     Rng model_rng(seed ^ 0x6d0de1ULL);
     models::Classifier model = build_model_for(id, scale, model_rng);
 
-    defense::TrainConfig config = base_config(scale, seed);
+    defense::TrainConfig config = base_train_config(scale, seed);
     if (sweep_gamma) {
       config.gamma = value;
     } else {

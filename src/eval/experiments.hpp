@@ -58,6 +58,12 @@ PreparedData prepare_data(data::DatasetId id, const ExperimentScale& scale,
 models::Classifier build_model_for(data::DatasetId id,
                                    const ExperimentScale& scale, Rng& rng);
 
+/// The TrainConfig every experiment driver derives from `scale` — shared
+/// with the sweep scheduler so a parallel cell trains under exactly the
+/// config its serial counterpart would.
+defense::TrainConfig base_train_config(const ExperimentScale& scale,
+                                       std::uint64_t seed);
+
 // ---------------------------------------------------------------- Table III
 
 struct DefenseRun {
@@ -87,10 +93,13 @@ struct Table3Result {
 };
 
 /// Trains every defense in `defenses` from an identical initial model and
-/// evaluates on original/FGSM/BIM/PGD examples.
+/// evaluates on original/FGSM/BIM/PGD examples. `jobs` > 1 trains the
+/// defenses concurrently through the experiment scheduler (bit-identical to
+/// the serial path — see eval/scheduler.hpp's isolation contract); 0 uses
+/// the default thread count. Rows come back in `defenses` order either way.
 Table3Result run_table3(data::DatasetId id,
                         const std::vector<defense::DefenseId>& defenses,
-                        std::uint64_t seed);
+                        std::uint64_t seed, unsigned jobs = 1);
 
 // ----------------------------------------------------------------- Table IV
 

@@ -173,6 +173,14 @@ TEST(BatcherState, RestoredBatcherYieldsTheSameRemainingSequence) {
   bad = snap;
   bad.cursor = 1000;
   EXPECT_THROW(b2.load_state(bad), SerializationError);
+  // A duplicated index keeps the right length and range but drops a sample:
+  // order must be a permutation, not merely in-bounds.
+  bad = snap;
+  bad.order[0] = bad.order[1];
+  EXPECT_THROW(b2.load_state(bad), SerializationError);
+  bad = snap;
+  bad.order[0] = -1;
+  EXPECT_THROW(b2.load_state(bad), SerializationError);
 }
 
 TEST(ModelRngs, DropoutStreamsAreDiscoverable) {

@@ -1,0 +1,367 @@
+// Async pipeline + scheduler tests (DESIGN.md §12): the PrefetchBatcher
+// must be bit-identical to the synchronous Batcher — same batch stream,
+// same trained weights, checkpoint-exact mid-epoch state — and the
+// experiment scheduler must produce the serial results regardless of job
+// concurrency. The whole file runs under the CI TSan leg.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/io.hpp"
+#include "ckpt/signal.hpp"
+#include "data/batcher.hpp"
+#include "data/prefetch_batcher.hpp"
+#include "data/preprocess.hpp"
+#include "defense/cls.hpp"
+#include "defense/registry.hpp"
+#include "defense/vanilla.hpp"
+#include "defense/zk_gandef.hpp"
+#include "eval/scheduler.hpp"
+#include "models/lenet.hpp"
+
+namespace zkg {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("zkg_pipe_" + tag + "_" + std::to_string(::getpid())))
+                  .string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+data::Dataset small_train_set(std::int64_t n = 192) {
+  Rng rng(42);
+  return data::scale_pixels(data::make_synth_digits(n, rng));
+}
+
+models::Classifier fresh_model(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return models::build_lenet({1, 28, 28, 10}, models::Preset::kBench, rng);
+}
+
+std::vector<Tensor> params_of(models::Classifier& model) {
+  return model.net().state();
+}
+
+void expect_params_identical(std::vector<Tensor> a, std::vector<Tensor> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].equals(b[i])) << "parameter tensor " << i << " differs";
+  }
+}
+
+void expect_batches_identical(data::BatchSource& a, data::BatchSource& b,
+                              int epochs) {
+  data::Batch batch_a;
+  data::Batch batch_b;
+  for (int e = 0; e < epochs; ++e) {
+    std::int64_t n = 0;
+    while (true) {
+      const bool more_a = a.next_into(batch_a);
+      const bool more_b = b.next_into(batch_b);
+      ASSERT_EQ(more_a, more_b) << "epoch " << e << " batch " << n;
+      if (!more_a) break;
+      EXPECT_EQ(batch_a.labels, batch_b.labels)
+          << "epoch " << e << " batch " << n;
+      EXPECT_TRUE(batch_a.images.equals(batch_b.images))
+          << "epoch " << e << " batch " << n;
+      ++n;
+    }
+    a.start_epoch();
+    b.start_epoch();
+  }
+}
+
+// --- PrefetchBatcher vs Batcher: the bit-identity contract ---
+
+TEST(PrefetchBatcher, StreamsTheExactSynchronousBatchSequence) {
+  const data::Dataset train = small_train_set(100);  // ragged final batch
+  Rng sync_rng(11);
+  Rng pre_rng(11);
+  data::Batcher sync(train, 32, sync_rng);
+  data::PrefetchBatcher prefetch(train, 32, pre_rng);
+  EXPECT_EQ(prefetch.batch_size(), sync.batch_size());
+  EXPECT_EQ(prefetch.batches_per_epoch(), sync.batches_per_epoch());
+  expect_batches_identical(sync, prefetch, /*epochs=*/3);
+}
+
+TEST(PrefetchBatcher, UnshuffledStreamMatchesToo) {
+  const data::Dataset train = small_train_set(64);
+  Rng sync_rng(3);
+  Rng pre_rng(3);
+  data::Batcher sync(train, 16, sync_rng, /*shuffle=*/false);
+  data::PrefetchBatcher prefetch(train, 16, pre_rng, /*shuffle=*/false);
+  expect_batches_identical(sync, prefetch, /*epochs=*/2);
+}
+
+TEST(PrefetchBatcher, StateSnapshotsTheConsumedCursorNotTheReadAhead) {
+  const data::Dataset train = small_train_set(96);
+  Rng pre_rng(5);
+  data::PrefetchBatcher prefetch(train, 16, pre_rng);
+  data::Batch batch;
+  ASSERT_TRUE(prefetch.next_into(batch));
+  ASSERT_TRUE(prefetch.next_into(batch));
+  // The producer has read ahead past batch 2, but the snapshot must replay
+  // from exactly where the *consumer* stands.
+  const data::BatcherState snap = prefetch.state();
+  EXPECT_EQ(snap.cursor, 32);
+
+  // The snapshot restores into the synchronous implementation and yields
+  // the same remaining sequence — the two are interchangeable mid-epoch.
+  Rng sync_rng(999);
+  data::Batcher sync(train, 16, sync_rng);
+  sync.load_state(snap);
+  expect_batches_identical(prefetch, sync, /*epochs=*/2);
+}
+
+TEST(PrefetchBatcher, LoadStateRejectsCorruptPermutations) {
+  const data::Dataset train = small_train_set(64);
+  Rng rng(5);
+  data::PrefetchBatcher prefetch(train, 16, rng);
+  const data::BatcherState snap = prefetch.state();
+
+  data::BatcherState bad = snap;
+  bad.order[0] = bad.order[1];  // duplicate index: not a permutation
+  EXPECT_THROW(prefetch.load_state(bad), SerializationError);
+  bad = snap;
+  bad.cursor = 1000;
+  EXPECT_THROW(prefetch.load_state(bad), SerializationError);
+  // The rejected loads left the batcher usable: it still streams an epoch.
+  prefetch.load_state(snap);
+  data::Batch batch;
+  std::int64_t batches = 0;
+  while (prefetch.next_into(batch)) ++batches;
+  EXPECT_EQ(batches, prefetch.batches_per_epoch());
+}
+
+// Trained weights through config.prefetch must match the synchronous path
+// bitwise — the end-to-end statement of the pipeline contract, for a plain
+// defense, a noise-stream defense and the GAN defense.
+template <typename TrainerT>
+void run_prefetch_parity_case(std::int64_t epochs) {
+  const data::Dataset train = small_train_set();
+  defense::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 32;
+  config.gamma = 0.05f;
+
+  models::Classifier sync_model = fresh_model();
+  TrainerT sync_trainer(sync_model, config);
+  const defense::TrainResult sync_result = sync_trainer.fit(train);
+
+  defense::TrainConfig prefetch_config = config;
+  prefetch_config.prefetch = true;
+  models::Classifier pre_model = fresh_model();
+  TrainerT pre_trainer(pre_model, prefetch_config);
+  const defense::TrainResult pre_result = pre_trainer.fit(train);
+
+  ASSERT_EQ(pre_result.epochs.size(), sync_result.epochs.size());
+  for (std::size_t i = 0; i < pre_result.epochs.size(); ++i) {
+    EXPECT_EQ(pre_result.epochs[i].classifier_loss,
+              sync_result.epochs[i].classifier_loss)
+        << "epoch " << i;
+  }
+  expect_params_identical(params_of(pre_model), params_of(sync_model));
+}
+
+TEST(PrefetchTraining, VanillaWeightsAreBitIdentical) {
+  run_prefetch_parity_case<defense::VanillaTrainer>(2);
+}
+
+TEST(PrefetchTraining, ClsWeightsAreBitIdentical) {
+  run_prefetch_parity_case<defense::ClsTrainer>(2);
+}
+
+TEST(PrefetchTraining, ZkGanDefWeightsAreBitIdentical) {
+  run_prefetch_parity_case<defense::ZkGanDefTrainer>(2);
+}
+
+/// Requests a graceful stop after `batches` completed batches.
+class StopAfter : public defense::TrainObserver {
+ public:
+  explicit StopAfter(std::int64_t batches) : remaining_(batches) {}
+  void on_batch_end(const defense::Trainer&, std::int64_t, std::int64_t,
+                    const defense::BatchStats&) override {
+    if (--remaining_ == 0) ckpt::request_stop();
+  }
+
+ private:
+  std::int64_t remaining_;
+};
+
+// Mid-epoch checkpoint + resume THROUGH the prefetch pipeline: interrupt a
+// prefetching run mid-epoch, resume it (still prefetching), and land on the
+// uninterrupted synchronous reference bit-for-bit.
+TEST(PrefetchTraining, MidEpochInterruptResumeIsBitIdentical) {
+  const data::Dataset train = small_train_set();  // 192/32 = 6 batches/epoch
+  defense::TrainConfig config;
+  config.epochs = 3;
+  config.batch_size = 32;
+
+  models::Classifier ref_model = fresh_model();
+  defense::VanillaTrainer reference(ref_model, config);
+  const defense::TrainResult ref_result = reference.fit(train);
+
+  TempDir dir("prefetch_resume");
+  defense::TrainConfig interrupted_config = config;
+  interrupted_config.prefetch = true;
+  interrupted_config.checkpoint.dir = dir.path();
+  models::Classifier mid_model = fresh_model();
+  {
+    defense::VanillaTrainer trainer(mid_model, interrupted_config);
+    StopAfter stopper(8);  // inside epoch 1
+    trainer.add_observer(&stopper);
+    const defense::TrainResult partial = trainer.fit(train);
+    EXPECT_TRUE(partial.interrupted);
+  }
+  ckpt::clear_stop();
+  ASSERT_FALSE(ckpt::list_checkpoints(dir.path()).empty());
+
+  defense::TrainConfig resume_config = interrupted_config;
+  resume_config.resume_from = dir.path();
+  models::Classifier resumed_model = fresh_model();
+  defense::VanillaTrainer resumed(resumed_model, resume_config);
+  const defense::TrainResult result = resumed.fit(train);
+
+  EXPECT_FALSE(result.interrupted);
+  ASSERT_EQ(result.epochs.size(), ref_result.epochs.size());
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    EXPECT_EQ(result.epochs[i].classifier_loss,
+              ref_result.epochs[i].classifier_loss)
+        << "epoch " << i << " loss diverged";
+  }
+  expect_params_identical(params_of(resumed_model), params_of(ref_model));
+}
+
+// --- Experiment scheduler ---
+
+TEST(Scheduler, RunJobsCapturesErrorsWithoutAbortingTheSweep) {
+  std::atomic<int> ran{0};
+  const std::vector<eval::Job> jobs = {
+      {"ok-1", [&ran] { ran.fetch_add(1); }},
+      {"boom", [] { throw InvalidArgument("injected failure"); }},
+      {"ok-2", [&ran] { ran.fetch_add(1); }},
+  };
+  for (const unsigned concurrency : {1u, 3u}) {
+    ran.store(0);
+    const std::vector<eval::JobOutcome> outcomes =
+        eval::run_jobs(jobs, concurrency);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("injected failure"), std::string::npos);
+    EXPECT_TRUE(outcomes[2].ok);
+    EXPECT_EQ(outcomes[1].name, "boom");
+  }
+}
+
+// run_sweep sizes cells via scale_for(), which honours ZKG_TRAIN/ZKG_TEST —
+// pin a small scale so the sweep tests stay fast under TSan.
+class SweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setenv("ZKG_TRAIN", "192", 1);
+    setenv("ZKG_TEST", "32", 1);
+  }
+  void TearDown() override {
+    unsetenv("ZKG_TRAIN");
+    unsetenv("ZKG_TEST");
+  }
+};
+
+// Concurrency must not change results: a 4-job prefetching sweep trains the
+// exact weights of the serial synchronous sweep, cell by cell.
+TEST_F(SweepTest, ConcurrentSweepMatchesSerialBitwise) {
+  const std::uint64_t seed = 20190417;
+  std::vector<eval::SweepCell> cells;
+  for (const defense::DefenseId id :
+       {defense::DefenseId::kVanilla, defense::DefenseId::kCls,
+        defense::DefenseId::kZkGanDef, defense::DefenseId::kFgsmAdv}) {
+    cells.push_back(eval::SweepCell{id, data::DatasetId::kDigits, seed});
+  }
+
+  eval::SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.epochs = 1;
+  serial_opts.evaluate = false;
+  serial_opts.keep_params = true;
+  eval::SweepOptions parallel_opts = serial_opts;
+  parallel_opts.jobs = 4;
+  parallel_opts.prefetch = true;
+
+  const std::vector<eval::SweepRun> serial =
+      eval::run_sweep(cells, serial_opts);
+  const std::vector<eval::SweepRun> parallel =
+      eval::run_sweep(cells, parallel_opts);
+
+  ASSERT_EQ(serial.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].name << ": " << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok)
+        << parallel[i].name << ": " << parallel[i].error;
+    EXPECT_EQ(parallel[i].name, serial[i].name);
+    EXPECT_EQ(parallel[i].train.final_loss(), serial[i].train.final_loss())
+        << serial[i].name;
+    expect_params_identical(parallel[i].final_params, serial[i].final_params);
+  }
+}
+
+// Per-job checkpoint directories: an interrupted sweep leaves one resumable
+// directory per cell, and re-running the sweep picks each of them up.
+TEST_F(SweepTest, SweepWritesAndResumesPerJobCheckpoints) {
+  const std::uint64_t seed = 20190417;
+  const std::vector<eval::SweepCell> cells = {
+      {defense::DefenseId::kVanilla, data::DatasetId::kDigits, seed},
+      {defense::DefenseId::kCls, data::DatasetId::kDigits, seed},
+  };
+  TempDir root("sweep_ckpt");
+
+  eval::SweepOptions options;
+  options.jobs = 2;
+  options.epochs = 2;
+  options.evaluate = false;
+  options.keep_params = true;
+  options.checkpoint_root = root.path();
+  const std::vector<eval::SweepRun> first = eval::run_sweep(cells, options);
+  for (const eval::SweepRun& run : first) {
+    ASSERT_TRUE(run.ok) << run.name << ": " << run.error;
+    EXPECT_FALSE(
+        ckpt::list_checkpoints(root.path() + "/" + run.name).empty())
+        << run.name;
+  }
+
+  // Second pass resumes each finished cell's newest snapshot: no further
+  // epochs train, the replayed history and the restored weights match the
+  // first pass exactly.
+  const std::vector<eval::SweepRun> second = eval::run_sweep(cells, options);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ASSERT_TRUE(second[i].ok) << second[i].name << ": " << second[i].error;
+    ASSERT_EQ(second[i].train.epochs.size(), first[i].train.epochs.size());
+    EXPECT_EQ(second[i].train.final_loss(), first[i].train.final_loss());
+    expect_params_identical(second[i].final_params, first[i].final_params);
+  }
+}
+
+}  // namespace
+}  // namespace zkg

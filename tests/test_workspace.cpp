@@ -1,12 +1,14 @@
 // BufferPool / Workspace / ensure_shape tests, plus the steady-state
-// regression: after one warmup iteration, a CLS training step and a PGD
-// attack step must run with zero pool misses, and results computed through
-// dirty recycled buffers must be bit-identical to freshly allocated ones.
+// regression: after one warmup iteration, a CLS training step and a
+// PGD/SPSA attack step must run with zero pool misses, and results computed
+// through dirty recycled buffers must be bit-identical to freshly allocated
+// ones.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "attacks/pgd.hpp"
+#include "attacks/spsa.hpp"
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
 #include "data/preprocess.hpp"
@@ -280,6 +282,30 @@ TEST(SteadyState, PgdAttackStepHasZeroPoolMissesAfterWarmup) {
   const PoolStats stats = BufferPool::global().stats();
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+}
+
+// Black-box SPSA routes every probe through member scratch, so after a
+// warmup call it too must be pool-miss-free (it used to allocate fresh
+// direction/probe/logit tensors on every finite-difference sample).
+TEST(SteadyState, SpsaAttackStepHasZeroPoolMissesAfterWarmup) {
+  auto model = small_model(13);
+  Rng data_rng(23);
+  const Tensor images = rand_uniform({8, 1, 28, 28}, data_rng, -1.0f, 1.0f);
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 8; ++i) labels.push_back(i % 10);
+
+  Rng attack_rng(6);
+  attacks::Spsa spsa({.epsilon = 0.3f, .step_size = 0.1f, .iterations = 2,
+                      .restarts = 1},
+                     attack_rng, /*delta=*/0.01f, /*samples=*/2);
+  Tensor adv;
+  spsa.generate_into(model, images, labels, adv);  // warmup
+
+  BufferPool::global().reset_stats();
+  spsa.generate_into(model, images, labels, adv);
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(stats.bytes_allocated, 0u);
 }
 
