@@ -1,20 +1,31 @@
 // google-benchmark micro-benchmarks for the hot kernels: GEMM variants,
 // im2col convolution, softmax/CE, and a full attack step. Not part of the
 // paper; engineering validation of the substrate. main() first prints a
-// serial-vs-parallel speedup report for the kernels behind the Fig. 5
-// training-time benches, then runs the registered benchmarks.
+// per-kernel backend report — serial vs parallel vs SIMD wall-clock,
+// GFLOP/s, effective GB/s and arithmetic intensity (the roofline
+// coordinates) for every KernelBackend entry family — and writes it to
+// ZKG_BENCH_JSON (default BENCH_kernels.json), then runs the registered
+// benchmarks.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "attacks/fgsm.hpp"
+#include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "models/lenet.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/loss.hpp"
+#include "obs/json.hpp"
+#include "tensor/backend/backend.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -47,6 +58,19 @@ void BM_MatmulSerial(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_MatmulSerial)->Arg(256);
+
+void BM_MatmulScalarBackend(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  backend::BackendScope scope(backend::scalar_backend());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulScalarBackend)->Arg(256);
 
 void BM_MatmulNT(benchmark::State& state) {
   const auto n = state.range(0);
@@ -140,6 +164,12 @@ void BM_GaussianAugment(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianAugment);
 
+// ---------------------------------------------------------------------------
+// Per-kernel backend report: serial vs parallel vs SIMD, GFLOP/s, GB/s and
+// arithmetic intensity for the roofline view. Written to ZKG_BENCH_JSON
+// (default BENCH_kernels.json).
+// ---------------------------------------------------------------------------
+
 // Times `fn` as the best of `reps` runs, in milliseconds.
 template <typename Fn>
 double best_of_ms(int reps, Fn&& fn) {
@@ -152,54 +182,162 @@ double best_of_ms(int reps, Fn&& fn) {
   return best;
 }
 
-// Prints serial-vs-parallel wall-clock for the two kernels that dominate
-// the Fig. 5 training-time measurements, so the speedup of the unified
-// zkg::parallel_for layer is visible regardless of backend.
-void report_parallel_speedup() {
-  std::printf("parallel backend: %s, %u thread(s) (ZKG_THREADS overrides)\n",
-              parallel_backend_name(), parallel_threads());
+struct KernelCase {
+  std::string name;
+  double flops;  // per invocation (0 for pure-movement kernels)
+  double bytes;  // per invocation: floats read + written, x4
+  std::function<void()> body;
+};
+
+struct Measurement {
+  double serial_ms = 0.0;    // scalar backend, SerialScope
+  double parallel_ms = 0.0;  // scalar backend, parallel_for enabled
+  double simd_ms = -1.0;     // avx2 backend, parallel; -1 when unsupported
+};
+
+double gflops(double flops, double ms) {
+  return ms > 0.0 ? flops / (ms * 1e6) : 0.0;
+}
+double gbps(double bytes, double ms) {
+  return ms > 0.0 ? bytes / (ms * 1e6) : 0.0;
+}
+
+Measurement measure(const KernelCase& kc) {
+  constexpr int kReps = 5;
+  Measurement m;
+  kc.body();  // warm up pool, caches and backend dispatch
+  {
+    backend::BackendScope scope(backend::scalar_backend());
+    SerialScope serial;
+    m.serial_ms = best_of_ms(kReps, kc.body);
+  }
+  {
+    backend::BackendScope scope(backend::scalar_backend());
+    m.parallel_ms = best_of_ms(kReps, kc.body);
+  }
+  if (const backend::KernelBackend* avx2 =
+          backend::avx2_backend_if_supported()) {
+    backend::BackendScope scope(*avx2);
+    kc.body();  // warm the SIMD path's packing scratch
+    m.simd_ms = best_of_ms(kReps, kc.body);
+  }
+  return m;
+}
+
+void report_kernel_performance() {
+  std::printf(
+      "kernel backends: active=%s (ZKG_BACKEND overrides), cpu avx2+fma=%s\n"
+      "parallel backend: %s, %u thread(s) (ZKG_THREADS overrides)\n\n",
+      backend::active_name(), backend::cpu_supports_avx2() ? "yes" : "no",
+      parallel_backend_name(), parallel_threads());
 
   Rng rng(42);
   const std::int64_t n = 256;
   const Tensor a = randn({n, n}, rng);
   const Tensor b = randn({n, n}, rng);
-  benchmark::DoNotOptimize(matmul(a, b));  // warm up pool + caches
-  const double par_ms = best_of_ms(5, [&] {
-    benchmark::DoNotOptimize(matmul(a, b));
-  });
-  double ser_ms;
-  {
-    SerialScope serial;
-    ser_ms = best_of_ms(5, [&] { benchmark::DoNotOptimize(matmul(a, b)); });
-  }
-  std::printf("matmul %ldx%ldx%ld: serial %.2f ms, parallel %.2f ms, "
-              "speedup %.2fx\n",
-              static_cast<long>(n), static_cast<long>(n),
-              static_cast<long>(n), ser_ms, par_ms, ser_ms / par_ms);
+  const Tensor bt = transpose2d(b);
+  const Tensor x = randn({n}, rng);
+  const std::int64_t big = 1 << 20;
+  const Tensor u = randn({big}, rng);
+  const Tensor v = randn({big}, rng);
+  const Tensor logits = randn({1024, 64}, rng);
 
-  const nn::Conv2dConfig cfg{.in_channels = 3, .out_channels = 16,
-                             .kernel = 3, .stride = 1, .padding = 1};
-  const Tensor x = randn({32, 3, 32, 32}, rng);
-  benchmark::DoNotOptimize(nn::im2col(x, cfg));
-  const double im2col_par_ms = best_of_ms(5, [&] {
-    benchmark::DoNotOptimize(nn::im2col(x, cfg));
-  });
-  double im2col_ser_ms;
-  {
-    SerialScope serial;
-    im2col_ser_ms = best_of_ms(5, [&] {
-      benchmark::DoNotOptimize(nn::im2col(x, cfg));
-    });
+  Tensor c, y, w, sm;  // persistent destinations: steady state, no allocs
+
+  const double n3 = static_cast<double>(n) * n * n;
+  const double n2 = static_cast<double>(n) * n;
+  const double gemm_bytes = 4.0 * 3.0 * n2;
+  std::vector<KernelCase> cases;
+  cases.push_back({"matmul_256", 2.0 * n3, gemm_bytes,
+                   [&] { matmul_into(c, a, b); }});
+  cases.push_back({"matmul_nt_256", 2.0 * n3, gemm_bytes,
+                   [&] { matmul_nt_into(c, a, bt); }});
+  cases.push_back({"matmul_tn_256", 2.0 * n3, gemm_bytes,
+                   [&] { matmul_tn_into(c, a, b); }});
+  cases.push_back({"matvec_256", 2.0 * n2, 4.0 * (n2 + 2.0 * n),
+                   [&] { matvec_into(y, a, x); }});
+  cases.push_back({"transpose2d_256", 0.0, 4.0 * 2.0 * n2,
+                   [&] { transpose2d_into(c, a); }});
+  cases.push_back({"col_sum_256", n2, 4.0 * (n2 + n),
+                   [&] { col_sum_into(y, a); }});
+  cases.push_back({"add_1m", static_cast<double>(big),
+                   4.0 * 3.0 * static_cast<double>(big),
+                   [&] { add_into(w, u, v); }});
+  cases.push_back({"mul_1m", static_cast<double>(big),
+                   4.0 * 3.0 * static_cast<double>(big),
+                   [&] { mul_into(w, u, v); }});
+  cases.push_back({"clamp_1m", static_cast<double>(big),
+                   4.0 * 2.0 * static_cast<double>(big),
+                   [&] { clamp_into(w, u, -1.0f, 1.0f); }});
+  // ~6 flops/element once exp is counted as one: max, sub, exp, sum, div.
+  cases.push_back({"softmax_1024x64", 6.0 * 1024.0 * 64.0,
+                   4.0 * 2.0 * 1024.0 * 64.0,
+                   [&] { softmax_rows_into(sm, logits); }});
+
+  std::printf(
+      "%-16s %9s %9s %9s | %9s %9s | %7s %7s | %s\n", "kernel", "serial",
+      "parallel", "simd", "gflops", "gb/s", "par_x", "simd_x", "ai");
+  obs::JsonArray records;
+  for (const KernelCase& kc : cases) {
+    const Measurement m = measure(kc);
+    const bool has_simd = m.simd_ms >= 0.0;
+    const double best_ms = has_simd ? m.simd_ms : m.parallel_ms;
+    const double intensity = kc.bytes > 0.0 ? kc.flops / kc.bytes : 0.0;
+    const double par_speedup =
+        m.parallel_ms > 0.0 ? m.serial_ms / m.parallel_ms : 0.0;
+    const double simd_speedup =
+        has_simd && m.simd_ms > 0.0 ? m.parallel_ms / m.simd_ms : 0.0;
+    std::printf(
+        "%-16s %7.3fms %7.3fms %7.3fms | %9.2f %9.2f | %6.2fx %6.2fx | "
+        "%.2f flop/B\n",
+        kc.name.c_str(), m.serial_ms, m.parallel_ms, has_simd ? m.simd_ms : 0.0,
+        gflops(kc.flops, best_ms), gbps(kc.bytes, best_ms), par_speedup,
+        simd_speedup, intensity);
+
+    obs::JsonObject rec;
+    rec["kernel"] = kc.name;
+    rec["flops"] = kc.flops;
+    rec["bytes"] = kc.bytes;
+    rec["arithmetic_intensity_flop_per_byte"] = intensity;
+    rec["serial_ms"] = m.serial_ms;
+    rec["parallel_ms"] = m.parallel_ms;
+    rec["serial_gflops"] = gflops(kc.flops, m.serial_ms);
+    rec["parallel_gflops"] = gflops(kc.flops, m.parallel_ms);
+    rec["parallel_speedup"] = par_speedup;
+    if (has_simd) {
+      rec["simd_ms"] = m.simd_ms;
+      rec["simd_gflops"] = gflops(kc.flops, m.simd_ms);
+      rec["simd_gbps"] = gbps(kc.bytes, m.simd_ms);
+      rec["simd_speedup_vs_parallel_scalar"] = simd_speedup;
+      rec["simd_speedup_vs_serial_scalar"] =
+          m.simd_ms > 0.0 ? m.serial_ms / m.simd_ms : 0.0;
+    }
+    records.push_back(obs::Json(std::move(rec)));
   }
-  std::printf("im2col b=32 3x32x32 k3: serial %.2f ms, parallel %.2f ms, "
-              "speedup %.2fx\n\n",
-              im2col_ser_ms, im2col_par_ms, im2col_ser_ms / im2col_par_ms);
+  std::printf(
+      "\nroofline: kernels left of the machine's flop/byte balance point are"
+      " bandwidth-bound\n(elementwise, transpose, col_sum); the packed GEMM"
+      " sits far right and is compute-bound.\n\n");
+
+  const std::string json_path = env_or("ZKG_BENCH_JSON", "BENCH_kernels.json");
+  if (!json_path.empty()) {
+    obs::JsonObject doc;
+    doc["bench"] = "kernels";
+    doc["active_backend"] = std::string(backend::active_name());
+    doc["cpu_supports_avx2"] = backend::cpu_supports_avx2();
+    doc["parallel_backend"] = std::string(parallel_backend_name());
+    doc["threads"] = static_cast<std::int64_t>(parallel_threads());
+    doc["kernels"] = std::move(records);
+    std::ofstream out(json_path, std::ios::trunc);
+    out << obs::Json(std::move(doc)).dump() << "\n";
+    std::printf("kernel report written to %s\n\n", json_path.c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  report_parallel_speedup();
+  report_kernel_performance();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

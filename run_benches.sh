@@ -19,9 +19,15 @@
 # chosen at configure time (OpenMP or the in-tree thread pool; the cmake
 # configure step prints "zkg: parallel backend = ..."). ZKG_THREADS=<n>
 # overrides the worker count, e.g. `ZKG_THREADS=8 ./run_benches.sh`.
-# bench_kernels prints a serial-vs-parallel speedup report on startup.
 # ZKG_JOBS=<n> additionally parallelizes the Table III/IV and Figure 5
 # drivers at the experiment level (n concurrent training jobs).
+#
+# Kernel backend: ZKG_BACKEND=scalar|avx2|auto selects the compute backend
+# (DESIGN.md §13); default auto picks AVX2 when the CPU supports it.
+# bench_kernels prints a per-kernel serial/parallel/SIMD roofline report
+# (GFLOP/s, GB/s, arithmetic intensity) on startup and writes it to
+# BENCH_kernels.json (ZKG_BENCH_JSON overrides the path; in --trace mode
+# it lands in <dir>/bench_kernels.train.jsonl).
 #
 # To run the threadpool stress tests under ThreadSanitizer (the OpenMP
 # runtime produces TSan false positives, so use the pool backend):
@@ -71,5 +77,7 @@ for b in build/bench/*; do
 done
 if [ -n "$TRACE_DIR" ]; then
   echo "telemetry traces written to $TRACE_DIR/"
+elif [ -f "BENCH_kernels.json" ]; then
+  echo "kernel roofline report: BENCH_kernels.json"
 fi
 echo "ALL BENCHES COMPLETE"

@@ -3,30 +3,27 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/backend/backend.hpp"
 #include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg::nn {
 
+// ReLU/LeakyReLU dominate activation time in the conv stacks, so they
+// dispatch through the kernel backend; Sigmoid/Tanh are transcendental-
+// bound and keep plain loops.
+
 void ReLU::forward_into(const Tensor& input, Tensor& out, bool /*training*/) {
   cached_input_ = input;
   ensure_shape(out, input.shape());
-  const float* in = cached_input_.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    po[i] = in[i] > 0.0f ? in[i] : 0.0f;
-  }
+  backend::active().relu(out.data(), cached_input_.data(), out.numel());
 }
 
 void ReLU::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   check_same_shape(grad_output, cached_input_, "ReLU::backward");
   ensure_shape(grad_input, grad_output.shape());
-  const float* in = cached_input_.data();
-  const float* go = grad_output.data();
-  float* g = grad_input.data();
-  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
-    g[i] = in[i] > 0.0f ? go[i] : 0.0f;
-  }
+  backend::active().relu_backward(grad_input.data(), cached_input_.data(),
+                                  grad_output.data(), grad_input.numel());
 }
 
 LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {
@@ -38,22 +35,17 @@ void LeakyReLU::forward_into(const Tensor& input, Tensor& out,
                              bool /*training*/) {
   cached_input_ = input;
   ensure_shape(out, input.shape());
-  const float* in = cached_input_.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    po[i] = in[i] > 0.0f ? in[i] : slope_ * in[i];
-  }
+  backend::active().leaky_relu(out.data(), cached_input_.data(), slope_,
+                               out.numel());
 }
 
 void LeakyReLU::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   check_same_shape(grad_output, cached_input_, "LeakyReLU::backward");
   ensure_shape(grad_input, grad_output.shape());
-  const float* in = cached_input_.data();
-  const float* go = grad_output.data();
-  float* g = grad_input.data();
-  for (std::int64_t i = 0; i < grad_input.numel(); ++i) {
-    g[i] = in[i] > 0.0f ? go[i] : slope_ * go[i];
-  }
+  backend::active().leaky_relu_backward(grad_input.data(),
+                                        cached_input_.data(),
+                                        grad_output.data(), slope_,
+                                        grad_input.numel());
 }
 
 std::string LeakyReLU::name() const {

@@ -1,0 +1,133 @@
+// Pluggable CPU kernel backends behind the linalg/ops entry points.
+//
+// A KernelBackend is a function table covering the GEMM family and the hot
+// elementwise/activation/softmax kernels. The public entry points in
+// tensor/linalg.hpp and tensor/ops.hpp keep their signatures: they validate
+// contracts, size destinations through the pool, then call through
+// backend::active(). Two backends exist:
+//
+//   scalar  portable C++ loops — exactly the kernels this library always
+//           shipped, extracted behind the table. Bit-identical to the
+//           pre-backend implementation.
+//   avx2    AVX2/FMA: a packed, register-blocked GEMM microkernel plus
+//           vectorized elementwise kernels. Compiled into every x86-64
+//           build (with per-file -mavx2 -mfma) and selected only when the
+//           running CPU reports AVX2+FMA support.
+//
+// Selection happens once, at first use: ZKG_BACKEND=scalar|avx2|auto
+// (default auto = best supported). Every backend is deterministic and
+// bit-identical run-to-run; *across* backends the GEMM family agrees only
+// within tolerance, because FMA contraction and blocked accumulation
+// legitimately change low-order bits (see DESIGN.md §13).
+//
+// Raw SIMD intrinsics are confined to src/tensor/backend/ — enforced by
+// tools/lint.py (simd-outside-backend).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zkg::backend {
+
+/// Function table of raw kernels. Pointers are never null. All buffers are
+/// dense row-major float32; shape/aliasing contracts have already been
+/// validated by the linalg/ops entry points, and destinations are fully
+/// overwritten (never read) unless a kernel is documented as in-place.
+struct KernelBackend {
+  const char* name;  // "scalar" | "avx2"
+  bool simd;         // true when explicit vector intrinsics are used
+
+  // ---- GEMM family ----
+  /// C[m,n] = A[m,k] * B[k,n].
+  void (*matmul)(float* c, const float* a, const float* b, std::int64_t m,
+                 std::int64_t k, std::int64_t n);
+  /// C[m,n] = A[m,k] * B[n,k]^T.
+  void (*matmul_nt)(float* c, const float* a, const float* b, std::int64_t m,
+                    std::int64_t k, std::int64_t n);
+  /// C[m,n] = A[k,m]^T * B[k,n].
+  void (*matmul_tn)(float* c, const float* a, const float* b, std::int64_t m,
+                    std::int64_t k, std::int64_t n);
+  /// y[m] = A[m,n] * x[n].
+  void (*matvec)(float* y, const float* a, const float* x, std::int64_t m,
+                 std::int64_t n);
+  /// out[n,m] = A[m,n]^T.
+  void (*transpose2d)(float* out, const float* a, std::int64_t m,
+                      std::int64_t n);
+  /// out[n] = sum over rows of A[m,n].
+  void (*col_sum)(float* out, const float* a, std::int64_t m, std::int64_t n);
+  /// A[m,n] += bias[n] per row (in place).
+  void (*add_row_bias)(float* a, const float* bias, std::int64_t m,
+                       std::int64_t n);
+
+  // ---- hot elementwise kernels over n contiguous floats ----
+  // `out` may alias `a` (the in-place entry points rely on it); binary
+  // kernels may also alias `out` with `b`.
+  void (*add)(float* out, const float* a, const float* b, std::int64_t n);
+  void (*sub)(float* out, const float* a, const float* b, std::int64_t n);
+  void (*mul)(float* out, const float* a, const float* b, std::int64_t n);
+  void (*div)(float* out, const float* a, const float* b, std::int64_t n);
+  /// out = a + s.
+  void (*add_scalar)(float* out, const float* a, float s, std::int64_t n);
+  /// out = a * s.
+  void (*mul_scalar)(float* out, const float* a, float s, std::int64_t n);
+  /// y += alpha * x (in place).
+  void (*axpy)(float* y, float alpha, const float* x, std::int64_t n);
+  /// y += alpha * sign(x) (in place); sign(0) == 0.
+  void (*add_scaled_sign)(float* y, float alpha, const float* x,
+                          std::int64_t n);
+  void (*clamp)(float* out, const float* a, float lo, float hi,
+                std::int64_t n);
+
+  // ---- activations ----
+  void (*relu)(float* out, const float* a, std::int64_t n);
+  /// g = (in > 0) ? go : 0.
+  void (*relu_backward)(float* g, const float* in, const float* go,
+                        std::int64_t n);
+  void (*leaky_relu)(float* out, const float* a, float slope, std::int64_t n);
+  void (*leaky_relu_backward)(float* g, const float* in, const float* go,
+                              float slope, std::int64_t n);
+
+  // ---- softmax ----
+  /// Row-wise numerically stabilised softmax of logits[rows, cols];
+  /// cols > 0.
+  void (*softmax_rows)(float* out, const float* logits, std::int64_t rows,
+                       std::int64_t cols);
+};
+
+/// The portable reference backend (always available).
+const KernelBackend& scalar_backend();
+
+/// The AVX2/FMA backend, or nullptr when this build/CPU cannot run it.
+const KernelBackend* avx2_backend_if_supported();
+
+/// True when the running CPU supports AVX2 and FMA (runtime CPUID probe).
+bool cpu_supports_avx2();
+
+/// The backend every linalg/ops entry point dispatches through. Resolved
+/// once on first use from ZKG_BACKEND (scalar|avx2|auto; default auto =
+/// avx2 when supported, else scalar). Throws zkg::ConfigError when the
+/// variable names an unknown backend or one the CPU cannot run.
+const KernelBackend& active();
+
+/// Name of active(), for logs/benches ("scalar" or "avx2").
+const char* active_name();
+
+/// Backend with the given name ("scalar", "avx2"), or nullptr when unknown
+/// or unsupported on this CPU.
+const KernelBackend* find(const std::string& name);
+
+/// RAII scope forcing a specific backend process-wide. Tests and benches
+/// use this to compare backends inside one process; training code never
+/// switches backends mid-run.
+class BackendScope {
+ public:
+  explicit BackendScope(const KernelBackend& backend);
+  ~BackendScope();
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  const KernelBackend* previous_;
+};
+
+}  // namespace zkg::backend

@@ -1,0 +1,71 @@
+// Runtime backend selection: CPUID probe + ZKG_BACKEND env override.
+//
+// The active backend is resolved exactly once, on the first kernel call
+// (lazily, so the env override works however early or late the first
+// tensor op runs), then every linalg/ops entry point reads one atomic
+// pointer. BackendScope swaps that pointer for tests and benches that
+// compare backends inside a single process.
+#include <atomic>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "tensor/backend/backend.hpp"
+
+namespace zkg::backend {
+namespace {
+
+std::atomic<const KernelBackend*> g_active{nullptr};
+
+const KernelBackend& resolve_from_env() {
+  const std::string choice = env_or("ZKG_BACKEND", "auto");
+  if (choice == "auto") {
+    const KernelBackend* avx2 = avx2_backend_if_supported();
+    return avx2 != nullptr ? *avx2 : scalar_backend();
+  }
+  const KernelBackend* named = find(choice);
+  if (named == nullptr) {
+    throw ConfigError(
+        "ZKG_BACKEND=" + choice +
+        ": unknown or unsupported kernel backend on this CPU (valid: "
+        "scalar, avx2 on AVX2+FMA hardware, auto)");
+  }
+  return *named;
+}
+
+}  // namespace
+
+const KernelBackend& active() {
+  const KernelBackend* backend = g_active.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    // First call in the process: resolve once under a lock so concurrent
+    // first calls agree, then publish.
+    static std::mutex resolve_mutex;
+    std::lock_guard<std::mutex> lock(resolve_mutex);
+    backend = g_active.load(std::memory_order_acquire);
+    if (backend == nullptr) {
+      backend = &resolve_from_env();
+      g_active.store(backend, std::memory_order_release);
+    }
+  }
+  return *backend;
+}
+
+const char* active_name() { return active().name; }
+
+const KernelBackend* find(const std::string& name) {
+  if (name == "scalar") return &scalar_backend();
+  if (name == "avx2") return avx2_backend_if_supported();
+  return nullptr;
+}
+
+BackendScope::BackendScope(const KernelBackend& backend) {
+  previous_ = &active();  // force resolution so the restore is well-defined
+  g_active.store(&backend, std::memory_order_release);
+}
+
+BackendScope::~BackendScope() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+}  // namespace zkg::backend

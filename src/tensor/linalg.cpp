@@ -1,21 +1,15 @@
+// Linear-algebra entry points: validate contracts, size destinations
+// through the pool, then dispatch to the active kernel backend (see
+// tensor/backend/backend.hpp). All compute loops live in the backends;
+// this file owns only the shape/aliasing checks that must run regardless
+// of which backend executes.
 #include "tensor/linalg.hpp"
 
-#include <algorithm>
-
-#include "common/parallel.hpp"
+#include "tensor/backend/backend.hpp"
 #include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg {
-namespace {
-
-// Tile sizes for the blocked GEMM kernels, in float elements. A kTileK x
-// kTileJ tile of B is 64 KiB — it stays resident in L2 while a chunk of
-// rows streams over it, and the kTileJ-wide C/B row segments fit in L1.
-constexpr std::int64_t kTileJ = 256;
-constexpr std::int64_t kTileK = 64;
-
-}  // namespace
 
 void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
   ZKG_REQUIRE_RANK(a, 2, "matmul");
@@ -29,31 +23,7 @@ void matmul_into(Tensor& c, const Tensor& a, const Tensor& b) {
   ZKG_REQUIRE_NOT_ALIASED(c, a, "matmul_into");
   ZKG_REQUIRE_NOT_ALIASED(c, b, "matmul_into");
   ensure_shape(c, {m, n});
-  c.fill(0.0f);  // the blocked kernel accumulates into C
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Blocked i-k-j: for each (k, j) tile of B the chunk's rows of C are
-  // updated while the tile is hot; the innermost j loop keeps B and C
-  // row-contiguous so it vectorises.
-  const std::int64_t grain = parallel_grain(2 * k * n);
-  parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
-      const std::int64_t ke = std::min(kb + kTileK, k);
-      for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
-        const std::int64_t je = std::min(jb + kTileJ, n);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* crow = pc + i * n;
-          for (std::int64_t kk = kb; kk < ke; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::int64_t j = jb; j < je; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-  });
+  backend::active().matmul(c.data(), a.data(), b.data(), m, k, n);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -74,40 +44,7 @@ void matmul_nt_into(Tensor& c, const Tensor& a, const Tensor& b) {
   ZKG_REQUIRE_NOT_ALIASED(c, a, "matmul_nt_into");
   ZKG_REQUIRE_NOT_ALIASED(c, b, "matmul_nt_into");
   ensure_shape(c, {m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Block the j loop so a band of B rows (jtile * k floats ~ 64 KiB) is
-  // reused across every row i of the chunk.
-  const std::int64_t jtile = std::clamp<std::int64_t>(
-      (1 << 14) / std::max<std::int64_t>(1, k), 8, 512);
-  const std::int64_t grain = parallel_grain(2 * k * n);
-  parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t jb = 0; jb < n; jb += jtile) {
-      const std::int64_t je = std::min(jb + jtile, n);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * n;
-        for (std::int64_t j = jb; j < je; ++j) {
-          const float* brow = pb + j * k;
-          // Four independent float accumulators let the compiler vectorise;
-          // float precision is ample for the k <= few-thousand dot products
-          // that occur in this library.
-          float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-          std::int64_t kk = 0;
-          for (; kk + 4 <= k; kk += 4) {
-            acc0 += arow[kk] * brow[kk];
-            acc1 += arow[kk + 1] * brow[kk + 1];
-            acc2 += arow[kk + 2] * brow[kk + 2];
-            acc3 += arow[kk + 3] * brow[kk + 3];
-          }
-          float acc = (acc0 + acc1) + (acc2 + acc3);
-          for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-          crow[j] = acc;
-        }
-      }
-    }
-  });
+  backend::active().matmul_nt(c.data(), a.data(), b.data(), m, k, n);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -128,30 +65,7 @@ void matmul_tn_into(Tensor& c, const Tensor& a, const Tensor& b) {
   ZKG_REQUIRE_NOT_ALIASED(c, a, "matmul_tn_into");
   ZKG_REQUIRE_NOT_ALIASED(c, b, "matmul_tn_into");
   ensure_shape(c, {m, n});
-  c.fill(0.0f);  // the rank-1 update kernel accumulates into C
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Accumulate rank-1 updates; k is the batch dimension in backprop, so
-  // parallelism and blocking mirror matmul with A read column-wise.
-  const std::int64_t grain = parallel_grain(2 * k * n);
-  parallel_for(m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t kb = 0; kb < k; kb += kTileK) {
-      const std::int64_t ke = std::min(kb + kTileK, k);
-      for (std::int64_t jb = 0; jb < n; jb += kTileJ) {
-        const std::int64_t je = std::min(jb + kTileJ, n);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* crow = pc + i * n;
-          for (std::int64_t kk = kb; kk < ke; ++kk) {
-            const float aki = pa[kk * m + i];
-            if (aki == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::int64_t j = jb; j < je; ++j) crow[j] += aki * brow[j];
-          }
-        }
-      }
-    }
-  });
+  backend::active().matmul_tn(c.data(), a.data(), b.data(), m, k, n);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -166,19 +80,7 @@ void transpose2d_into(Tensor& out, const Tensor& a) {
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   ensure_shape(out, {n, m});
-  const float* pa = a.data();
-  float* pout = out.data();
-  // 64x64 tiles keep both the row-major reads and column-major writes
-  // within a few cache lines per iteration.
-  constexpr std::int64_t kTile = 64;
-  parallel_for(m, parallel_grain(n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t jb = 0; jb < n; jb += kTile) {
-      const std::int64_t je = std::min(jb + kTile, n);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t j = jb; j < je; ++j) pout[j * m + i] = pa[i * n + j];
-      }
-    }
-  });
+  backend::active().transpose2d(out.data(), a.data(), m, n);
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -197,16 +99,7 @@ void matvec_into(Tensor& y, const Tensor& a, const Tensor& x) {
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   ensure_shape(y, {m});
-  float* py = y.data();
-  parallel_for(m, parallel_grain(2 * n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      double acc = 0.0;
-      for (std::int64_t j = 0; j < n; ++j) {
-        acc += static_cast<double>(a[i * n + j]) * x[j];
-      }
-      py[i] = static_cast<float>(acc);
-    }
-  });
+  backend::active().matvec(y.data(), a.data(), x.data(), m, n);
 }
 
 Tensor matvec(const Tensor& a, const Tensor& x) {
@@ -220,15 +113,7 @@ void add_row_bias_(Tensor& a, const Tensor& bias) {
   ZKG_REQUIRE(bias.ndim() == 1 && bias.dim(0) == a.dim(1))
       << " bias shape " << shape_to_string(bias.shape()) << " vs "
       << shape_to_string(a.shape());
-  const std::int64_t m = a.dim(0);
-  const std::int64_t n = a.dim(1);
-  float* pa = a.data();
-  const float* pbias = bias.data();
-  parallel_for(m, parallel_grain(n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) pa[i * n + j] += pbias[j];
-    }
-  });
+  backend::active().add_row_bias(a.data(), bias.data(), a.dim(0), a.dim(1));
 }
 
 void col_sum_into(Tensor& out, const Tensor& a) {
@@ -237,17 +122,7 @@ void col_sum_into(Tensor& out, const Tensor& a) {
   const std::int64_t m = a.dim(0);
   const std::int64_t n = a.dim(1);
   ensure_shape(out, {n});
-  out.fill(0.0f);  // accumulates row by row
-  const float* pa = a.data();
-  float* pout = out.data();
-  // Partition over columns: each chunk owns out[j0, j1) so the row-wise
-  // accumulation stays race-free and summation order per column is fixed.
-  parallel_for(n, parallel_grain(m), [&](std::int64_t j0, std::int64_t j1) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float* arow = pa + i * n;
-      for (std::int64_t j = j0; j < j1; ++j) pout[j] += arow[j];
-    }
-  });
+  backend::active().col_sum(out.data(), a.data(), m, n);
 }
 
 Tensor col_sum(const Tensor& a) {

@@ -3,41 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/backend/backend.hpp"
 #include "tensor/contracts.hpp"
 #include "tensor/pool.hpp"
 
 namespace zkg {
 namespace {
 
-template <typename F>
-void binary_op_into(Tensor& out, const Tensor& a, const Tensor& b,
-                    const char* name, F f) {
+// The hot binary/scalar/activation kernels dispatch through the active
+// kernel backend (tensor/backend/backend.hpp); backend elementwise kernels
+// tolerate out aliasing either input, which the in-place forms rely on.
+// Cold transcendental and reduction ops below keep plain loops — they are
+// not in any training hot path and gain nothing from SIMD dispatch.
+using BinaryKernel = void (*)(float*, const float*, const float*,
+                              std::int64_t);
+
+void binary_dispatch_into(Tensor& out, const Tensor& a, const Tensor& b,
+                          const char* name,
+                          BinaryKernel backend::KernelBackend::* kernel) {
   ZKG_REQUIRE_SAME_SHAPE(a, b, name);
   ensure_shape(out, a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
-}
-
-template <typename F>
-Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
-  // Pre-sized so the _into path's ensure_shape is a no-op: value forms
-  // allocate plainly instead of borrowing from (and never repaying) the
-  // buffer pool.
-  Tensor out(a.shape());
-  binary_op_into(out, a, b, name, f);
-  return out;
-}
-
-template <typename F>
-void binary_op_(Tensor& a, const Tensor& b, const char* name, F f) {
-  ZKG_REQUIRE_SAME_SHAPE(a, b, name);
-  float* pa = a.data();
-  const float* pb = b.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) pa[i] = f(pa[i], pb[i]);
+  (backend::active().*kernel)(out.data(), a.data(), b.data(), a.numel());
 }
 
 // Element-wise unary into `out`. Safe when out aliases a (same index on
@@ -53,7 +39,7 @@ void unary_op_into(Tensor& out, const Tensor& a, F f) {
 
 template <typename F>
 Tensor unary_op(const Tensor& a, F f) {
-  Tensor out(a.shape());  // pre-sized: see binary_op
+  Tensor out(a.shape());  // pre-sized: see add
   unary_op_into(out, a, f);
   return out;
 }
@@ -61,80 +47,89 @@ Tensor unary_op(const Tensor& a, F f) {
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "add", [](float x, float y) { return x + y; });
+  // Pre-sized so the _into path's ensure_shape is a no-op: value forms
+  // allocate plainly instead of borrowing from (and never repaying) the
+  // buffer pool.
+  Tensor out(a.shape());
+  binary_dispatch_into(out, a, b, "add", &backend::KernelBackend::add);
+  return out;
 }
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "sub", [](float x, float y) { return x - y; });
+  Tensor out(a.shape());  // pre-sized: see add
+  binary_dispatch_into(out, a, b, "sub", &backend::KernelBackend::sub);
+  return out;
 }
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "mul", [](float x, float y) { return x * y; });
+  Tensor out(a.shape());  // pre-sized: see add
+  binary_dispatch_into(out, a, b, "mul", &backend::KernelBackend::mul);
+  return out;
 }
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "div", [](float x, float y) { return x / y; });
+  Tensor out(a.shape());  // pre-sized: see add
+  binary_dispatch_into(out, a, b, "div", &backend::KernelBackend::div);
+  return out;
 }
 void add_(Tensor& a, const Tensor& b) {
-  binary_op_(a, b, "add_", [](float x, float y) { return x + y; });
+  ZKG_REQUIRE_SAME_SHAPE(a, b, "add_");
+  backend::active().add(a.data(), a.data(), b.data(), a.numel());
 }
 void sub_(Tensor& a, const Tensor& b) {
-  binary_op_(a, b, "sub_", [](float x, float y) { return x - y; });
+  ZKG_REQUIRE_SAME_SHAPE(a, b, "sub_");
+  backend::active().sub(a.data(), a.data(), b.data(), a.numel());
 }
 void mul_(Tensor& a, const Tensor& b) {
-  binary_op_(a, b, "mul_", [](float x, float y) { return x * y; });
+  ZKG_REQUIRE_SAME_SHAPE(a, b, "mul_");
+  backend::active().mul(a.data(), a.data(), b.data(), a.numel());
 }
 
 void add_into(Tensor& out, const Tensor& a, const Tensor& b) {
-  binary_op_into(out, a, b, "add_into", [](float x, float y) { return x + y; });
+  binary_dispatch_into(out, a, b, "add_into", &backend::KernelBackend::add);
 }
 void sub_into(Tensor& out, const Tensor& a, const Tensor& b) {
-  binary_op_into(out, a, b, "sub_into", [](float x, float y) { return x - y; });
+  binary_dispatch_into(out, a, b, "sub_into", &backend::KernelBackend::sub);
 }
 void mul_into(Tensor& out, const Tensor& a, const Tensor& b) {
-  binary_op_into(out, a, b, "mul_into", [](float x, float y) { return x * y; });
+  binary_dispatch_into(out, a, b, "mul_into", &backend::KernelBackend::mul);
 }
 void div_into(Tensor& out, const Tensor& a, const Tensor& b) {
-  binary_op_into(out, a, b, "div_into", [](float x, float y) { return x / y; });
+  binary_dispatch_into(out, a, b, "div_into", &backend::KernelBackend::div);
 }
 
 Tensor add(const Tensor& a, float s) {
-  return unary_op(a, [s](float x) { return x + s; });
+  Tensor out(a.shape());  // pre-sized: see add
+  backend::active().add_scalar(out.data(), a.data(), s, a.numel());
+  return out;
 }
 Tensor mul(const Tensor& a, float s) {
-  return unary_op(a, [s](float x) { return x * s; });
+  Tensor out(a.shape());  // pre-sized: see add
+  backend::active().mul_scalar(out.data(), a.data(), s, a.numel());
+  return out;
 }
 void add_(Tensor& a, float s) {
-  float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s;
+  backend::active().add_scalar(a.data(), a.data(), s, a.numel());
 }
 void mul_(Tensor& a, float s) {
-  float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+  backend::active().mul_scalar(a.data(), a.data(), s, a.numel());
 }
 void add_into(Tensor& out, const Tensor& a, float s) {
-  unary_op_into(out, a, [s](float x) { return x + s; });
+  ensure_shape(out, a.shape());
+  backend::active().add_scalar(out.data(), a.data(), s, a.numel());
 }
 void mul_into(Tensor& out, const Tensor& a, float s) {
-  unary_op_into(out, a, [s](float x) { return x * s; });
+  ensure_shape(out, a.shape());
+  backend::active().mul_scalar(out.data(), a.data(), s, a.numel());
 }
 
 void axpy_(Tensor& y, float alpha, const Tensor& x) {
   ZKG_REQUIRE_SAME_SHAPE(y, x, "axpy_");
-  float* py = y.data();
-  const float* px = x.data();
-  const std::int64_t n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  backend::active().axpy(y.data(), alpha, x.data(), y.numel());
 }
 
 void add_scaled_sign_(Tensor& y, float alpha, const Tensor& x) {
   ZKG_REQUIRE_SAME_SHAPE(y, x, "add_scaled_sign_");
-  float* py = y.data();
-  const float* px = x.data();
-  const std::int64_t n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    // alpha * (+-1.0f) and alpha * 0.0f are exact, so this matches
-    // axpy_(y, alpha, sign(x)) bit for bit.
-    const float s = px[i] > 0.0f ? 1.0f : (px[i] < 0.0f ? -1.0f : 0.0f);
-    py[i] += alpha * s;
-  }
+  // Every backend computes alpha * (+-1.0f | 0.0f) exactly, so this stays
+  // bit-identical to axpy_(y, alpha, sign(x)).
+  backend::active().add_scaled_sign(y.data(), alpha, x.data(), y.numel());
 }
 
 Tensor neg(const Tensor& a) {
@@ -157,16 +152,13 @@ void sign_(Tensor& a) {
   }
 }
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  Tensor out(a.shape());  // pre-sized: see binary_op
+  Tensor out(a.shape());  // pre-sized: see add
   clamp_into(out, a, lo, hi);
   return out;
 }
 void clamp_(Tensor& a, float lo, float hi) {
   ZKG_REQUIRE(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
-  float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    pa[i] = std::clamp(pa[i], lo, hi);
-  }
+  backend::active().clamp(a.data(), a.data(), lo, hi, a.numel());
 }
 Tensor exp(const Tensor& a) {
   return unary_op(a, [](float x) { return std::exp(x); });
@@ -195,7 +187,8 @@ void sign_into(Tensor& out, const Tensor& a) {
 }
 void clamp_into(Tensor& out, const Tensor& a, float lo, float hi) {
   ZKG_REQUIRE(lo <= hi) << " clamp bounds inverted: " << lo << " > " << hi;
-  unary_op_into(out, a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+  ensure_shape(out, a.shape());
+  backend::active().clamp(out.data(), a.data(), lo, hi, a.numel());
 }
 void exp_into(Tensor& out, const Tensor& a) {
   unary_op_into(out, a, [](float x) { return std::exp(x); });
@@ -276,7 +269,7 @@ void row_sum_into(Tensor& out, const Tensor& a) {
 
 Tensor row_sum(const Tensor& a) {
   ZKG_REQUIRE_RANK(a, 2, "row_sum");
-  Tensor out({a.dim(0)});  // pre-sized: see binary_op
+  Tensor out({a.dim(0)});  // pre-sized: see add
   row_sum_into(out, a);
   return out;
 }
@@ -299,7 +292,7 @@ void row_max_into(Tensor& out, const Tensor& a) {
 
 Tensor row_max(const Tensor& a) {
   ZKG_REQUIRE_RANK(a, 2, "row_max");
-  Tensor out({a.dim(0)});  // pre-sized: see binary_op
+  Tensor out({a.dim(0)});  // pre-sized: see add
   row_max_into(out, a);
   return out;
 }
@@ -322,24 +315,11 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
 
 void softmax_rows_into(Tensor& out, const Tensor& logits) {
   ZKG_REQUIRE_RANK(logits, 2, "softmax_rows");
+  ZKG_REQUIRE(logits.dim(1) > 0) << " softmax_rows of zero-width tensor";
   ZKG_REQUIRE_NOT_ALIASED(out, logits, "softmax_rows_into");
-  const std::int64_t rows = logits.dim(0);
-  const std::int64_t cols = logits.dim(1);
   ensure_shape(out, logits.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float row_peak = logits[r * cols];
-    for (std::int64_t c = 1; c < cols; ++c) {
-      row_peak = std::max(row_peak, logits[r * cols + c]);
-    }
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float e = std::exp(logits[r * cols + c] - row_peak);
-      out[r * cols + c] = e;
-      denom += e;
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) out[r * cols + c] *= inv;
-  }
+  backend::active().softmax_rows(out.data(), logits.data(), logits.dim(0),
+                                 logits.dim(1));
 }
 
 Tensor softmax_rows(const Tensor& logits) {
@@ -365,7 +345,7 @@ Tensor one_hot(const std::vector<std::int64_t>& labels,
                std::int64_t num_classes) {
   ZKG_REQUIRE(num_classes > 0)
       << " one_hot: num_classes must be positive, got " << num_classes;
-  // Pre-sized: see binary_op.
+  // Pre-sized: see add.
   Tensor out({static_cast<std::int64_t>(labels.size()), num_classes});
   one_hot_into(out, labels, num_classes);
   return out;
@@ -416,7 +396,7 @@ Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& indices) {
   ZKG_REQUIRE(a.ndim() >= 1) << " gather_rows on rank-0 tensor";
   Shape out_shape = a.shape();
   out_shape[0] = static_cast<std::int64_t>(indices.size());
-  Tensor out(std::move(out_shape));  // pre-sized: see binary_op
+  Tensor out(std::move(out_shape));  // pre-sized: see add
   gather_rows_into(out, a, indices);
   return out;
 }

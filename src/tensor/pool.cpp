@@ -56,9 +56,9 @@ bool BufferPool::is_poison(float value) {
   return bits == kPoisonBits;
 }
 
-std::vector<float> BufferPool::acquire(std::size_t numel) {
+FloatBuffer BufferPool::acquire(std::size_t numel) {
   const std::size_t bucket = bucket_for(numel);
-  std::vector<float> buffer;
+  FloatBuffer buffer;
   bool recycled = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -95,7 +95,7 @@ std::vector<float> BufferPool::acquire(std::size_t numel) {
   return buffer;
 }
 
-void BufferPool::release(std::vector<float>&& buffer) {
+void BufferPool::release(FloatBuffer&& buffer) {
   const std::size_t capacity = buffer.capacity();
   if (capacity < kMinBucket) return;  // not worth tracking
   // Key by the largest bucket the buffer can fully serve, so acquire(bucket)
@@ -144,7 +144,7 @@ void BufferPool::trim() {
 void ensure_shape(Tensor& t, const Shape& shape, BufferPool& pool) {
   if (t.shape() == shape) return;
   const std::size_t numel = static_cast<std::size_t>(shape_numel(shape));
-  std::vector<float> buffer = std::move(t.storage());
+  FloatBuffer buffer = std::move(t.storage());
   if (buffer.capacity() >= numel) {
     buffer.resize(numel);
   } else {

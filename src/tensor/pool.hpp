@@ -69,12 +69,14 @@ class BufferPool {
   static std::size_t bucket_for(std::size_t numel);
 
   /// A buffer with size() == numel and capacity >= bucket_for(numel).
-  /// Contents are unspecified (recycled buffers carry stale values).
-  std::vector<float> acquire(std::size_t numel);
+  /// Contents are unspecified (recycled buffers carry stale values); the
+  /// data pointer is 64-byte aligned (common/aligned.hpp), so SIMD kernels
+  /// can treat every pooled buffer as vector-load safe.
+  FloatBuffer acquire(std::size_t numel);
 
   /// Returns a buffer to the free list. Buffers smaller than kMinBucket are
   /// simply dropped (not worth tracking).
-  void release(std::vector<float>&& buffer);
+  void release(FloatBuffer&& buffer);
 
   PoolStats stats() const;
   void reset_stats();
@@ -95,7 +97,7 @@ class BufferPool {
  private:
   mutable std::mutex mutex_;
   // bucket capacity -> free buffers of at least that capacity
-  std::unordered_map<std::size_t, std::vector<std::vector<float>>> free_;
+  std::unordered_map<std::size_t, std::vector<FloatBuffer>> free_;
   // ZKG_CHECKED only: data pointers currently on the free list, to diagnose
   // a buffer being released twice. Unused (and empty) in release builds.
   std::unordered_set<const float*> released_;

@@ -32,16 +32,19 @@ Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)),
       data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, FloatBuffer data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   ZKG_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_))
       << " buffer has " << data_.size() << " elements, shape "
       << shape_to_string(shape_) << " wants " << shape_numel(shape_);
 }
 
+Tensor::Tensor(Shape shape, const std::vector<float>& data)
+    : Tensor(std::move(shape), FloatBuffer(data.begin(), data.end())) {}
+
 Tensor Tensor::vector(std::initializer_list<float> values) {
   return Tensor({static_cast<std::int64_t>(values.size())},
-                std::vector<float>(values));
+                FloatBuffer(values.begin(), values.end()));
 }
 
 std::int64_t Tensor::dim(std::int64_t i) const {
@@ -126,7 +129,7 @@ Tensor Tensor::slice_rows(std::int64_t begin, std::int64_t end) const {
   const std::int64_t stride = row_stride();
   Shape out_shape = shape_;
   out_shape[0] = end - begin;
-  std::vector<float> out_data(
+  FloatBuffer out_data(
       data_.begin() + static_cast<std::ptrdiff_t>(begin * stride),
       data_.begin() + static_cast<std::ptrdiff_t>(end * stride));
   return Tensor(std::move(out_shape), std::move(out_data));

@@ -3,7 +3,9 @@
 // A Tensor is a contiguous row-major float32 buffer plus a shape. There are
 // no strided views or reference-counted aliases: copies are explicit and the
 // type behaves like a regular value (C++ Core Guidelines C.10). All kernels
-// live in free functions (ops.hpp / linalg.hpp / random.hpp).
+// live in free functions (ops.hpp / linalg.hpp / random.hpp). Storage is a
+// FloatBuffer (common/aligned.hpp), so data() is always 64-byte aligned —
+// the SIMD kernel backends rely on that.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/contracts.hpp"
 #include "common/error.hpp"
 
@@ -32,8 +35,13 @@ class Tensor {
   /// A tensor of the given shape with every element set to `fill`.
   explicit Tensor(Shape shape, float fill = 0.0f);
 
-  /// Adopts an existing buffer; data.size() must equal shape_numel(shape).
-  Tensor(Shape shape, std::vector<float> data);
+  /// Adopts an existing aligned buffer; data.size() must equal
+  /// shape_numel(shape).
+  Tensor(Shape shape, FloatBuffer data);
+
+  /// Convenience form copying an ordinary vector into aligned storage
+  /// (tests and loaders; hot paths adopt FloatBuffers from the pool).
+  Tensor(Shape shape, const std::vector<float>& data);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
   static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -53,8 +61,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
+  FloatBuffer& storage() { return data_; }
+  const FloatBuffer& storage() const { return data_; }
 
   /// Flat element access. Unchecked in release builds (this is the hot-loop
   /// accessor); ZKG_CHECKED builds bounds-check every access.
@@ -113,7 +121,7 @@ class Tensor {
                            const char* op) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 /// Throws InvalidArgument unless both tensors share `shape`.

@@ -157,7 +157,7 @@ TEST(PoolPoison, PoisonValueIsADistinguishedNaN) {
 
 TEST(PoolPoison, WriteAfterReleaseTripsOnReacquire) {
   BufferPool pool;
-  std::vector<float> buffer = pool.acquire(512);
+  FloatBuffer buffer = pool.acquire(512);
   float* stale = buffer.data();
   pool.release(std::move(buffer));
   stale[3] = 42.0f;  // write through a pointer that outlived the release
@@ -168,9 +168,9 @@ TEST(PoolPoison, WriteAfterReleaseTripsOnReacquire) {
 
 TEST(PoolPoison, CleanRecycleRoundTripsQuietly) {
   BufferPool pool;
-  std::vector<float> buffer = pool.acquire(512);
+  FloatBuffer buffer = pool.acquire(512);
   pool.release(std::move(buffer));
-  std::vector<float> again = pool.acquire(512);  // poison intact: no throw
+  FloatBuffer again = pool.acquire(512);  // poison intact: no throw
   again.assign(again.size(), 1.0f);
   pool.release(std::move(again));  // releasing a re-acquired buffer is legal
   EXPECT_EQ(pool.stats().hits, 1u);

@@ -1,11 +1,14 @@
 // Tests for the dense linear-algebra kernels, including parameterized
 // consistency sweeps of the fused-transpose GEMM variants against the
-// reference implementation.
+// reference implementation, cross-backend (scalar vs AVX2) agreement, and
+// per-backend run-to-run bit identity.
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "tensor/backend/backend.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -13,6 +16,34 @@
 
 namespace zkg {
 namespace {
+
+// Naive triple-loop reference GEMM, independent of every backend.
+Tensor reference_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+// Every backend available on this machine, for parameterized sweeps.
+std::vector<const backend::KernelBackend*> available_backends() {
+  std::vector<const backend::KernelBackend*> out{&backend::scalar_backend()};
+  if (const backend::KernelBackend* avx2 =
+          backend::avx2_backend_if_supported()) {
+    out.push_back(avx2);
+  }
+  return out;
+}
 
 TEST(Matmul, KnownValues) {
   const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
@@ -100,6 +131,175 @@ TEST(Bias, ShapeErrors) {
   Tensor a({2, 3});
   EXPECT_THROW(add_row_bias_(a, Tensor({2})), InvalidArgument);
   EXPECT_THROW(col_sum(Tensor({4})), InvalidArgument);
+}
+
+// Edge shapes every backend must handle exactly: single elements, single
+// rows/columns, sizes that don't divide the SIMD register tile (6x16), and
+// empty dimensions. Checked against the naive triple-loop reference under
+// every available backend.
+TEST(GemmEdgeShapes, MatchReferenceUnderEveryBackend) {
+  const std::vector<std::tuple<int, int, int>> shapes{
+      {1, 1, 1},  {1, 5, 1},   {5, 1, 5},  {1, 17, 1},
+      {3, 3, 3},  {6, 16, 16}, {7, 19, 23}, {97, 3, 5},
+      {13, 64, 33}};
+  for (const backend::KernelBackend* b : available_backends()) {
+    backend::BackendScope scope(*b);
+    for (const auto& [m, k, n] : shapes) {
+      Rng rng(11 + m + k + n);
+      const Tensor a = randn({m, k}, rng);
+      const Tensor bm = randn({k, n}, rng);
+      const Tensor want = reference_matmul(a, bm);
+      EXPECT_TRUE(matmul(a, bm).allclose(want, 1e-3f))
+          << b->name << " matmul " << m << "x" << k << "x" << n;
+      EXPECT_TRUE(matmul_nt(a, transpose2d(bm)).allclose(want, 1e-3f))
+          << b->name << " matmul_nt " << m << "x" << k << "x" << n;
+      EXPECT_TRUE(matmul_tn(transpose2d(a), bm).allclose(want, 1e-3f))
+          << b->name << " matmul_tn " << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+TEST(GemmEdgeShapes, EmptyDimensionsUnderEveryBackend) {
+  for (const backend::KernelBackend* b : available_backends()) {
+    backend::BackendScope scope(*b);
+    // m == 0 / n == 0: no output elements, but shapes must still be right.
+    EXPECT_EQ(matmul(Tensor({0, 4}), Tensor({4, 5})).shape(), Shape({0, 5}))
+        << b->name;
+    EXPECT_EQ(matmul(Tensor({4, 3}), Tensor({3, 0})).shape(), Shape({4, 0}))
+        << b->name;
+    // k == 0: an empty contraction is all zeros, even over a dirty
+    // destination.
+    Tensor dirty({2, 3}, 42.0f);
+    matmul_into(dirty, Tensor({2, 0}), Tensor({0, 3}));
+    EXPECT_TRUE(dirty.equals(Tensor({2, 3}))) << b->name;
+  }
+}
+
+// The *_into entry points reject aliased destinations in every build type
+// regardless of backend — a SIMD backend reading packed panels from a
+// buffer it is concurrently writing would silently corrupt results.
+TEST(GemmContracts, AliasedDestinationsThrowUnderEveryBackend) {
+  for (const backend::KernelBackend* b : available_backends()) {
+    backend::BackendScope scope(*b);
+    Tensor square({4, 4}, 1.0f);
+    const Tensor other({4, 4}, 2.0f);
+    EXPECT_THROW(matmul_into(square, square, other), InvalidArgument)
+        << b->name;
+    EXPECT_THROW(matmul_nt_into(square, other, square), InvalidArgument)
+        << b->name;
+    EXPECT_THROW(matmul_tn_into(square, square, other), InvalidArgument)
+        << b->name;
+    Tensor vec({4}, 1.0f);
+    const Tensor mat({4, 4}, 1.0f);
+    EXPECT_THROW(matvec_into(vec, mat, vec), InvalidArgument) << b->name;
+    Tensor wide({4, 4}, 1.0f);
+    EXPECT_THROW(transpose2d_into(wide, wide), InvalidArgument) << b->name;
+    EXPECT_THROW(col_sum_into(wide, wide), InvalidArgument) << b->name;
+  }
+}
+
+// Scalar and AVX2 legitimately differ in low-order bits (FMA contraction,
+// blocked accumulation order) but must agree within tolerance on every
+// kernel family.
+TEST(CrossBackend, ScalarAndSimdAgreeWithinTolerance) {
+  const backend::KernelBackend* avx2 = backend::avx2_backend_if_supported();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 backend on this CPU";
+
+  Rng rng(21);
+  const Tensor a = randn({33, 47}, rng);
+  const Tensor b = randn({47, 29}, rng);
+  const Tensor x = randn({47}, rng);
+  const Tensor logits = randn({17, 10}, rng);
+
+  Tensor scalar_mm, scalar_mv, scalar_sm;
+  {
+    backend::BackendScope scope(backend::scalar_backend());
+    matmul_into(scalar_mm, a, b);
+    matvec_into(scalar_mv, a, x);
+    softmax_rows_into(scalar_sm, logits);
+  }
+  Tensor simd_mm, simd_mv, simd_sm;
+  {
+    backend::BackendScope scope(*avx2);
+    matmul_into(simd_mm, a, b);
+    matvec_into(simd_mv, a, x);
+    softmax_rows_into(simd_sm, logits);
+  }
+  EXPECT_TRUE(simd_mm.allclose(scalar_mm, 1e-4f));
+  EXPECT_TRUE(simd_mv.allclose(scalar_mv, 1e-5f));
+  EXPECT_TRUE(simd_sm.allclose(scalar_sm, 1e-6f));
+}
+
+// Elementwise and fused-sign kernels do one rounding per element in every
+// backend, so they are bit-identical across backends, not just close.
+TEST(CrossBackend, ElementwiseKernelsAreBitIdentical) {
+  const backend::KernelBackend* avx2 = backend::avx2_backend_if_supported();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 backend on this CPU";
+
+  Rng rng(23);
+  const Tensor u = randn({3, 101}, rng);  // odd count exercises SIMD tails
+  const Tensor v = randn({3, 101}, rng);
+
+  Tensor s_add, s_mul, s_clamp, s_axpy = u, s_sign = u;
+  {
+    backend::BackendScope scope(backend::scalar_backend());
+    add_into(s_add, u, v);
+    mul_into(s_mul, u, v);
+    clamp_into(s_clamp, u, -0.5f, 0.5f);
+    axpy_(s_axpy, 0.3f, v);
+    add_scaled_sign_(s_sign, 0.07f, v);
+  }
+  Tensor a_add, a_mul, a_clamp, a_axpy = u, a_sign = u;
+  {
+    backend::BackendScope scope(*avx2);
+    add_into(a_add, u, v);
+    mul_into(a_mul, u, v);
+    clamp_into(a_clamp, u, -0.5f, 0.5f);
+    axpy_(a_axpy, 0.3f, v);
+    add_scaled_sign_(a_sign, 0.07f, v);
+  }
+  EXPECT_TRUE(a_add.equals(s_add));
+  EXPECT_TRUE(a_mul.equals(s_mul));
+  EXPECT_TRUE(a_clamp.equals(s_clamp));
+  EXPECT_TRUE(a_axpy.equals(s_axpy));
+  EXPECT_TRUE(a_sign.equals(s_sign));
+}
+
+// Determinism contract: each backend is bit-identical run to run — the
+// accumulation order per output element never depends on pool state or
+// repeated invocation.
+TEST(BackendDeterminism, RepeatedRunsAreBitIdentical) {
+  for (const backend::KernelBackend* b : available_backends()) {
+    backend::BackendScope scope(*b);
+    Rng rng(31);
+    const Tensor a = randn({37, 53}, rng);
+    const Tensor bm = randn({53, 41}, rng);
+
+    const Tensor first = matmul(a, bm);
+    Tensor dirty({7}, -9.0f);  // recycled-looking destination
+    matmul_into(dirty, a, bm);
+    EXPECT_TRUE(dirty.equals(first)) << b->name;
+    for (int run = 0; run < 3; ++run) {
+      EXPECT_TRUE(matmul(a, bm).equals(first)) << b->name << " run " << run;
+    }
+
+    const Tensor mv_first = matvec(a, Tensor({53}, 0.5f));
+    EXPECT_TRUE(matvec(a, Tensor({53}, 0.5f)).equals(mv_first)) << b->name;
+  }
+}
+
+TEST(BackendSelection, FindAndScopeRoundTrip) {
+  ASSERT_NE(backend::find("scalar"), nullptr);
+  EXPECT_STREQ(backend::find("scalar")->name, "scalar");
+  EXPECT_EQ(backend::find("bogus"), nullptr);
+  EXPECT_EQ(backend::find("avx2"), backend::avx2_backend_if_supported());
+
+  const std::string before = backend::active_name();
+  {
+    backend::BackendScope scope(backend::scalar_backend());
+    EXPECT_STREQ(backend::active_name(), "scalar");
+  }
+  EXPECT_EQ(backend::active_name(), before);  // scope restores
 }
 
 }  // namespace

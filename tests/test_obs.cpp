@@ -326,7 +326,7 @@ TEST(ObsExport, GaugeProvidersRunAtExport) {
 TEST(ObsExport, PoolGaugesAppearInExport) {
   TelemetryFixture fixture;
   // Touch the pool so its gauge provider is registered and has data.
-  BufferPool::global().release(std::vector<float>(4096));
+  BufferPool::global().release(FloatBuffer(4096));
   std::ostringstream out;
   obs::write_jsonl(out, fixture.t);
   EXPECT_NE(out.str().find("\"pool.hits\""), std::string::npos);

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -23,6 +24,7 @@
 #include "defense/zk_gandef.hpp"
 #include "eval/scheduler.hpp"
 #include "models/lenet.hpp"
+#include "tensor/backend/backend.hpp"
 
 namespace zkg {
 namespace {
@@ -360,6 +362,55 @@ TEST_F(SweepTest, SweepWritesAndResumesPerJobCheckpoints) {
     ASSERT_EQ(second[i].train.epochs.size(), first[i].train.epochs.size());
     EXPECT_EQ(second[i].train.final_loss(), first[i].train.final_loss());
     expect_params_identical(second[i].final_params, first[i].final_params);
+  }
+}
+
+// --- Kernel backends, end to end ---
+
+// Training is backend-portable: a short Vanilla fit converges to a
+// comparable loss whether the kernels run on the scalar or the SIMD
+// backend. Tolerance-based, not bitwise — FMA contraction and blocked
+// accumulation legitimately perturb low-order GEMM bits, and training
+// amplifies them (DESIGN.md §13). Both runs must still learn the task and
+// land on nearby losses.
+TEST(KernelBackends, VanillaFitConvergesComparablyUnderBothBackends) {
+  const backend::KernelBackend* avx2 = backend::avx2_backend_if_supported();
+  if (avx2 == nullptr) GTEST_SKIP() << "no AVX2 backend on this CPU";
+
+  const data::Dataset train = small_train_set();
+  defense::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 32;
+
+  auto fit_under = [&](const backend::KernelBackend& kb) {
+    backend::BackendScope scope(kb);
+    models::Classifier model = fresh_model();
+    defense::VanillaTrainer trainer(model, config);
+    return trainer.fit(train);
+  };
+  const defense::TrainResult scalar_run =
+      fit_under(backend::scalar_backend());
+  const defense::TrainResult simd_run = fit_under(*avx2);
+
+  ASSERT_EQ(scalar_run.epochs.size(), simd_run.epochs.size());
+  const float scalar_final = scalar_run.final_loss();
+  const float simd_final = simd_run.final_loss();
+  // Both backends learn: the final loss improves on the first epoch's.
+  EXPECT_LT(scalar_final, scalar_run.epochs.front().classifier_loss);
+  EXPECT_LT(simd_final, simd_run.epochs.front().classifier_loss);
+  // And they land close together — generous band for divergence amplified
+  // over two epochs of training.
+  EXPECT_NEAR(scalar_final, simd_final,
+              0.1f * std::max(1.0f, std::abs(scalar_final)));
+
+  // Within one backend the fit is deterministic: re-running the SIMD fit
+  // reproduces the loss trajectory bit for bit.
+  const defense::TrainResult simd_again = fit_under(*avx2);
+  ASSERT_EQ(simd_again.epochs.size(), simd_run.epochs.size());
+  for (std::size_t i = 0; i < simd_run.epochs.size(); ++i) {
+    EXPECT_EQ(simd_again.epochs[i].classifier_loss,
+              simd_run.epochs[i].classifier_loss)
+        << "epoch " << i;
   }
 }
 

@@ -34,7 +34,7 @@ TEST(BufferPool, BucketForRoundsUpToPowerOfTwo) {
 
 TEST(BufferPool, AcquireMissesThenHitsAfterRelease) {
   BufferPool pool;
-  std::vector<float> a = pool.acquire(300);
+  FloatBuffer a = pool.acquire(300);
   EXPECT_EQ(a.size(), 300u);
   EXPECT_GE(a.capacity(), 512u);
   EXPECT_EQ(pool.stats().misses, 1u);
@@ -44,16 +44,48 @@ TEST(BufferPool, AcquireMissesThenHitsAfterRelease) {
   EXPECT_EQ(pool.stats().free_buffers, 1u);
 
   // Any request that fits the same bucket is served from the free list.
-  std::vector<float> b = pool.acquire(400);
+  FloatBuffer b = pool.acquire(400);
   EXPECT_EQ(b.size(), 400u);
   EXPECT_EQ(pool.stats().hits, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
   EXPECT_EQ(pool.stats().free_buffers, 0u);
 }
 
+// Alignment regression: every float buffer in the system — pool
+// acquisitions across several buckets, Tensor storage however constructed,
+// and workspace tensors — must start on a 64-byte boundary so SIMD
+// backends can assume aligned panels and full cache lines.
+TEST(BufferPool, AllFloatStorageIs64ByteAligned) {
+  static_assert(kTensorAlignment == 64);
+  BufferPool pool;
+  for (std::size_t n : {1u, 300u, 4096u, 100000u}) {
+    FloatBuffer buf = pool.acquire(n);
+    EXPECT_TRUE(is_tensor_aligned(buf.data())) << "pool bucket " << n;
+    pool.release(std::move(buf));
+    // Recycled buffers come back with the same alignment guarantee.
+    FloatBuffer again = pool.acquire(n);
+    EXPECT_TRUE(is_tensor_aligned(again.data())) << "recycled bucket " << n;
+    pool.release(std::move(again));
+  }
+
+  Tensor shaped({3, 5});
+  Tensor filled({7}, 1.5f);
+  Tensor from_vector({4}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_TRUE(is_tensor_aligned(shaped.data()));
+  EXPECT_TRUE(is_tensor_aligned(filled.data()));
+  EXPECT_TRUE(is_tensor_aligned(from_vector.data()));
+
+  Workspace ws(pool);
+  EXPECT_TRUE(is_tensor_aligned(ws.get({8, 128}).data()));
+
+  Tensor grown;
+  ensure_shape(grown, {16, 64}, pool);
+  EXPECT_TRUE(is_tensor_aligned(grown.data()));
+}
+
 TEST(BufferPool, TinyBuffersAreDroppedOnRelease) {
   BufferPool pool;
-  std::vector<float> tiny(BufferPool::kMinBucket - 1);
+  FloatBuffer tiny(BufferPool::kMinBucket - 1);
   pool.release(std::move(tiny));
   EXPECT_EQ(pool.stats().free_buffers, 0u);
 }
@@ -103,7 +135,7 @@ TEST(EnsureShape, RoutesRealGrowthThroughPool) {
   // one, so a same-size follow-up acquire hits.
   ensure_shape(t, {64, 64}, pool);
   EXPECT_EQ(pool.stats().misses, 2u);
-  std::vector<float> again = pool.acquire(16 * 64);
+  FloatBuffer again = pool.acquire(16 * 64);
   EXPECT_EQ(pool.stats().hits, 1u);
   pool.release(std::move(again));
 }

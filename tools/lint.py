@@ -20,6 +20,10 @@ Enforces repo invariants that clang-tidy cannot express:
                         src/tensor/serialize.cpp); everything that persists
                         state a crash could corrupt must go through
                         zkg::ckpt::atomic_write_file.
+  simd-outside-backend  <immintrin.h> (and friends) and _mm/__m intrinsics
+                        appear only under src/tensor/backend/ — all SIMD
+                        lives behind the KernelBackend table, so the rest
+                        of the codebase stays portable and backend-agnostic.
 
 A finding can be waived for one line with a trailing comment:
 
@@ -68,6 +72,15 @@ RULE_EXIT = re.compile(r"(?<![\w.:])(std::)?(exit|abort|_Exit|quick_exit)\s*\(")
 RULE_TERMINATE = re.compile(r"\bstd::terminate\s*\(")
 RULE_VOID_CAST = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w.\->\[\]]*\s*;")
 RULE_OFSTREAM = re.compile(r"\bstd::ofstream\b")
+# SIMD intrinsics headers and identifiers: <immintrin.h> and the other x86
+# vector headers, _mm*/..._mm256 calls, and __m128/__m256/__m512 types.
+RULE_SIMD = re.compile(
+    r"#\s*include\s*<(imm|emm|xmm|pmm|smm|tmm|nmm|wmm|avx|avx2)intrin\.h>"
+    r"|\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[di]?\b"
+)
+
+# Files allowed to use raw SIMD intrinsics: the kernel backends themselves.
+SIMD_LAYER_PREFIX = "src/tensor/backend/"
 
 # `= delete;` / `= delete("...")` special member suppression is not the
 # deallocation operator.
@@ -192,6 +205,12 @@ def lint_file(path: Path) -> list[Finding]:
                 "atomic-write",
                 "direct std::ofstream outside the crash-safe writer layer; "
                 "use zkg::ckpt::atomic_write_file",
+            )
+        if not rel.startswith(SIMD_LAYER_PREFIX) and RULE_SIMD.search(code):
+            report(
+                "simd-outside-backend",
+                "raw SIMD intrinsics outside src/tensor/backend/; add a "
+                "KernelBackend kernel instead",
             )
     return findings
 
