@@ -39,8 +39,8 @@ int main() {
   config.gamma = 0.05f;
   defense::ZkGanDefTrainer trainer(model, config);
 
-  // Observers replace the old `config.verbose` flag: attach as many as you
-  // like (console progress, telemetry bridge, JSONL recorder, your own).
+  // Progress reporting is observer-based: attach as many as you like
+  // (console progress, telemetry bridge, JSONL recorder, your own).
   defense::ConsoleProgressObserver progress;
   trainer.add_observer(&progress);
   const defense::TrainResult result = trainer.fit(split.train);

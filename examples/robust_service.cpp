@@ -1,13 +1,19 @@
-// Robust inference service: the deployment story. Trains a defended model
-// fault-tolerantly (crash-safe train checkpoints, graceful Ctrl-C, NaN
-// rollback — DESIGN.md §11), checkpoints the weights to disk, reloads them
-// in a fresh "serving" process image, and uses the ZK-GanDef discriminator
-// as a runtime perturbation alarm on incoming requests — the operational
-// pattern the paper's intro motivates for security-sensitive classifiers
-// (spam filtering, face recognition).
+// Robust inference service: the deployment story, end to end. Trains a
+// defended model fault-tolerantly (crash-safe train checkpoints, graceful
+// Ctrl-C, NaN rollback — DESIGN.md §11), checkpoints the weights to disk,
+// reloads them in a fresh "serving" process image, and stands up an
+// InferenceServer (DESIGN.md §14): concurrent clients submit single
+// images, the micro-batching engine folds them into pooled batched
+// forwards, and the ZK-GanDef discriminator scores every request as a
+// runtime perturbation alarm — the operational pattern the paper's intro
+// motivates for security-sensitive classifiers (spam filtering, face
+// recognition).
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "attacks/pgd.hpp"
 #include "ckpt/io.hpp"
@@ -16,6 +22,7 @@
 #include "data/preprocess.hpp"
 #include "defense/zk_gandef.hpp"
 #include "models/lenet.hpp"
+#include "serve/server.hpp"
 #include "tensor/ops.hpp"
 
 int main() {
@@ -72,40 +79,69 @@ int main() {
       << " checkpoint round-trip mismatch";
   std::cout << "checkpoint round-trip verified (16-image probe)\n";
 
-  // Handle a benign request and an adversarial one.
-  const Tensor request = split.test.images.slice_rows(0, 32);
+  // Build the request mix an attacker-facing service sees: 32 benign test
+  // images and the same 32 put through a white-box PGD attack.
+  const Tensor benign = split.test.images.slice_rows(0, 32);
   const std::vector<std::int64_t> truth(split.test.labels.begin(),
                                         split.test.labels.begin() + 32);
   Rng attacker_rng(3);
   attacks::Pgd pgd(attacks::AttackBudget{.epsilon = 0.3f, .step_size = 0.06f,
                                          .iterations = 10, .restarts = 1},
                    attacker_rng);
-  const Tensor attacked = pgd.generate(serving, request, truth);
+  const Tensor attacked = pgd.generate(serving, benign, truth);
 
-  const auto count_correct = [&](const Tensor& images) {
-    const std::vector<std::int64_t> pred = serving.predict(images);
+  // ---- Stand up the server: micro-batching + discriminator alarm ----
+  serve::ServeConfig serve_config;
+  serve_config.max_batch = 16;
+  serve_config.max_delay_s = 0.002;  // p99 floor: one deadline + one forward
+  serve::InferenceServer server(serving, serve_config,
+                                &trainer.discriminator());
+
+  // Two concurrent clients — one benign, one adversarial — each submit 32
+  // single-image requests; the engine batches across both streams.
+  struct ClientReport {
     std::int64_t correct = 0;
-    for (std::size_t i = 0; i < truth.size(); ++i) {
-      if (pred[i] == truth[static_cast<std::size_t>(i)]) ++correct;
-    }
-    return correct;
+    float mean_alarm = 0.0f;
   };
-  std::cout << "benign requests classified correctly:   "
-            << count_correct(request) << "/32\n"
-            << "attacked requests classified correctly: "
-            << count_correct(attacked) << "/32\n";
+  const auto run_client = [&](const Tensor& images) {
+    std::vector<std::future<serve::Prediction>> futures;
+    for (std::int64_t i = 0; i < images.dim(0); ++i) {
+      futures.push_back(server.submit(images.slice_rows(i, i + 1)));
+    }
+    ClientReport report;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const serve::Prediction prediction = futures[i].get();
+      if (prediction.label == truth[i]) ++report.correct;
+      report.mean_alarm += prediction.alarm_score;
+    }
+    report.mean_alarm /= static_cast<float>(futures.size());
+    return report;
+  };
+  ClientReport benign_report, attacked_report;
+  std::thread benign_client(
+      [&] { benign_report = run_client(benign); });
+  std::thread attacked_client(
+      [&] { attacked_report = run_client(attacked); });
+  benign_client.join();
+  attacked_client.join();
+  server.stop();
 
-  // Runtime alarm: the trained discriminator scores how "perturbed" the
-  // logits of each request look.
-  models::Discriminator& alarm = trainer.discriminator();
-  const float benign_score =
-      mean(alarm.probability(serving.forward(request, false)));
-  const float attacked_score =
-      mean(alarm.probability(serving.forward(attacked, false)));
+  std::cout << "benign requests classified correctly:   "
+            << benign_report.correct << "/32\n"
+            << "attacked requests classified correctly: "
+            << attacked_report.correct << "/32\n";
   std::cout << "discriminator perturbation score (benign):   "
-            << benign_score << "\n"
+            << benign_report.mean_alarm << "\n"
             << "discriminator perturbation score (attacked): "
-            << attacked_score << "\n";
+            << attacked_report.mean_alarm << "\n";
+
+  const serve::ServerStats stats = server.stats();
+  std::cout << "served " << stats.completed << " requests in "
+            << stats.batches << " batches (max batch "
+            << stats.max_batch_observed << ", " << stats.size_flushes
+            << " size / " << stats.deadline_flushes
+            << " deadline flushes), p99 latency "
+            << stats.p99_latency_s * 1e3 << " ms\n";
 
   std::remove(checkpoint.c_str());
   std::filesystem::remove_all(train_ckpt_dir);

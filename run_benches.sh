@@ -8,6 +8,13 @@
 #                                    # plus <dir>/<bench>.train.jsonl with
 #                                    # per-epoch records where the bench
 #                                    # trains models (DESIGN.md §9)
+#   ./run_benches.sh --serve         # serving mode: run only bench_serve
+#                                    # (micro-batched vs batch-1 serial vs
+#                                    # overload load-shedding) and write the
+#                                    # latency/throughput report to
+#                                    # BENCH_serve.json (DESIGN.md §14);
+#                                    # knobs: ZKG_SERVE_SECONDS / _CLIENTS /
+#                                    # _BATCH / _DELAY_US / _STRICT
 #   ./run_benches.sh --jobs <n>      # sweep mode: run only bench_sweep with
 #                                    # n concurrent scheduler jobs and record
 #                                    # the perf trajectory (epoch wall-clock,
@@ -36,7 +43,14 @@
 #   ctest --test-dir build-tsan -R test_threadpool --output-on-failure
 TRACE_DIR=""
 SWEEP_JOBS=""
-if [ "$1" = "--trace" ]; then
+if [ "$1" = "--serve" ]; then
+  echo "### build/bench/bench_serve"
+  ZKG_BENCH_JSON="BENCH_serve.json" build/bench/bench_serve || exit 1
+  echo ""
+  echo "serving report: BENCH_serve.json"
+  echo "ALL BENCHES COMPLETE"
+  exit 0
+elif [ "$1" = "--trace" ]; then
   if [ -z "$2" ]; then
     echo "usage: $0 [--trace <dir>] [--jobs <n>]" >&2
     exit 2

@@ -1,6 +1,5 @@
-// Stock TrainObserver implementations: the console progress printer (the
-// old TrainConfig::verbose output), the telemetry bridge, and a JSON Lines
-// epoch recorder for bench binaries.
+// Stock TrainObserver implementations: the console progress printer, the
+// telemetry bridge, and a JSON Lines epoch recorder for bench binaries.
 #pragma once
 
 #include <iosfwd>
@@ -10,8 +9,8 @@
 
 namespace zkg::defense {
 
-/// Prints one log::info line per epoch — byte-identical to the output the
-/// deprecated TrainConfig::verbose flag used to produce inline.
+/// Prints one log::info line per epoch: the opt-in console progress
+/// channel (attach via Trainer::add_observer).
 class ConsoleProgressObserver : public TrainObserver {
  public:
   void on_epoch_end(const Trainer& trainer, const EpochStats& stats) override;

@@ -122,12 +122,6 @@ Trainer::Trainer(models::Classifier& model, TrainConfig config)
     checked_shim_ = std::make_unique<CheckedMathObserver>();
     observers_.push_back(checked_shim_.get());
   }
-  if (config_.verbose) {
-    // Deprecated shim: config.verbose used to drive inline printing; it now
-    // installs the console observer so old call sites keep their output.
-    verbose_shim_ = std::make_unique<ConsoleProgressObserver>();
-    observers_.push_back(verbose_shim_.get());
-  }
   if (!config_.checkpoint.dir.empty()) {
     ckpt_shim_ = std::make_unique<CheckpointObserver>(config_.checkpoint);
     observers_.push_back(ckpt_shim_.get());
@@ -141,7 +135,6 @@ void Trainer::add_observer(TrainObserver* observer) {
 
 void Trainer::clear_observers() {
   observers_.clear();
-  verbose_shim_.reset();
   checked_shim_.reset();
   ckpt_shim_.reset();
 }

@@ -73,11 +73,6 @@ struct TrainConfig {
   /// per-process via ZKG_PREFETCH=0/1 (applied in the Trainer constructor).
   bool prefetch = false;
 
-  /// Deprecated: installs a ConsoleProgressObserver on the trainer so old
-  /// call sites keep their per-epoch log lines. New code should attach a
-  /// TrainObserver via Trainer::add_observer() instead.
-  bool verbose = false;
-
   // --- Fault tolerance (DESIGN.md §11) ---
 
   /// Auto-checkpointing: a non-empty `checkpoint.dir` installs an owned
@@ -190,9 +185,8 @@ class Trainer {
   /// on_batch_end/on_epoch_end but not the train begin/end events.
   EpochStats fit_epoch(data::BatchSource& source, std::int64_t epoch_index);
 
-  /// Registers a non-owning observer; it must outlive the trainer. The
-  /// config.verbose shim installs an owned ConsoleProgressObserver first,
-  /// so explicit observers fire after it.
+  /// Registers a non-owning observer; it must outlive the trainer. For
+  /// per-epoch console output attach a ConsoleProgressObserver here.
   void add_observer(TrainObserver* observer);
   /// Removes every observer, including the owned shims.
   void clear_observers();
@@ -260,7 +254,6 @@ class Trainer {
   void run_batch(const data::Batch& batch);
 
   std::vector<TrainObserver*> observers_;
-  std::unique_ptr<TrainObserver> verbose_shim_;  // owned console observer
   // ZKG_CHECKED builds install a CheckedMathObserver here so every run is
   // NaN-tripwired without call sites opting in; null in release builds.
   std::unique_ptr<TrainObserver> checked_shim_;

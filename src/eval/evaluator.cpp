@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "models/session.hpp"
 #include "obs/telemetry.hpp"
 
 namespace zkg::eval {
@@ -22,14 +23,15 @@ Evaluator::Evaluator(std::int64_t batch_size) : batch_size_(batch_size) {
 double Evaluator::clean_accuracy(models::Classifier& model,
                                  const data::Dataset& test) const {
   test.validate();
+  models::InferenceSession session(model);
   std::vector<std::int64_t> predictions;
   predictions.reserve(static_cast<std::size_t>(test.size()));
   for (std::int64_t begin = 0; begin < test.size(); begin += batch_size_) {
     ZKG_SPAN("eval.batch");
     ZKG_COUNT("eval.batches", 1);
     const std::int64_t end = std::min(begin + batch_size_, test.size());
-    const std::vector<std::int64_t> batch_pred =
-        model.predict(test.images.slice_rows(begin, end));
+    const std::vector<std::int64_t>& batch_pred =
+        session.predict(test.images.slice_rows(begin, end));
     predictions.insert(predictions.end(), batch_pred.begin(),
                        batch_pred.end());
   }
@@ -41,6 +43,7 @@ Evaluation Evaluator::evaluate(
     const std::vector<attacks::Attack*>& attack_list) const {
   test.validate();
   Evaluation result;
+  models::InferenceSession session(model);
 
   std::vector<std::int64_t> clean_pred;
   clean_pred.reserve(static_cast<std::size_t>(test.size()));
@@ -61,7 +64,7 @@ Evaluation Evaluator::evaluate(
     const std::vector<std::int64_t> labels(
         test.labels.begin() + begin, test.labels.begin() + end);
 
-    const std::vector<std::int64_t> batch_clean = model.predict(images);
+    const std::vector<std::int64_t>& batch_clean = session.predict(images);
     clean_pred.insert(clean_pred.end(), batch_clean.begin(),
                       batch_clean.end());
 
@@ -72,7 +75,7 @@ Evaluation Evaluator::evaluate(
         ZKG_SPAN("eval.attack_gen");
         adversarial = attack_list[a]->generate(model, images, labels);
       }
-      const std::vector<std::int64_t> adv_pred = model.predict(adversarial);
+      const std::vector<std::int64_t>& adv_pred = session.predict(adversarial);
       per_attack[a].predictions.insert(per_attack[a].predictions.end(),
                                        adv_pred.begin(), adv_pred.end());
       const PerturbationStats stats =

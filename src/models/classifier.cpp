@@ -42,7 +42,15 @@ void Classifier::backward_into(const Tensor& grad_logits,
 }
 
 std::vector<std::int64_t> Classifier::predict(const Tensor& images) {
-  return argmax_rows(forward(images, /*training=*/false));
+  std::vector<std::int64_t> out;
+  predict_into(images, out);
+  return out;
+}
+
+void Classifier::predict_into(const Tensor& images,
+                              std::vector<std::int64_t>& out) {
+  forward_into(images, predict_logits_, /*training=*/false);
+  argmax_rows_into(out, predict_logits_);
 }
 
 void Classifier::save(const std::string& path) {

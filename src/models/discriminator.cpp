@@ -44,7 +44,14 @@ void Discriminator::backward_into(const Tensor& grad_output,
 }
 
 Tensor Discriminator::probability(const Tensor& class_logits) {
-  return nn::sigmoid(forward(class_logits, /*training=*/false));
+  Tensor out;
+  probability_into(class_logits, out);
+  return out;
+}
+
+void Discriminator::probability_into(const Tensor& class_logits, Tensor& out) {
+  forward_into(class_logits, prob_logits_, /*training=*/false);
+  nn::sigmoid_into(out, prob_logits_);
 }
 
 }  // namespace zkg::models

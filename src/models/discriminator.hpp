@@ -30,6 +30,8 @@ class Discriminator {
 
   /// P(input was perturbed) in [0, 1], shape [B, 1]. Inference only.
   Tensor probability(const Tensor& class_logits);
+  /// Same, writing into pooled caller scratch (steady-state free).
+  void probability_into(const Tensor& class_logits, Tensor& out);
 
   std::vector<nn::Parameter*> parameters() { return net_.parameters(); }
   void zero_grad() { net_.zero_grad(); }
@@ -40,6 +42,7 @@ class Discriminator {
  private:
   std::int64_t num_classes_;
   nn::Sequential net_;
+  Tensor prob_logits_;  // probability_into scratch (pooled, reused)
 };
 
 }  // namespace zkg::models

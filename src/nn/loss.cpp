@@ -71,12 +71,17 @@ LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
 
 Tensor sigmoid(const Tensor& logits) {
   Tensor out(logits.shape());
+  sigmoid_into(out, logits);
+  return out;
+}
+
+void sigmoid_into(Tensor& out, const Tensor& logits) {
+  ensure_shape(out, logits.shape());
   const float* z = logits.data();
   float* p = out.data();
   for (std::int64_t i = 0; i < logits.numel(); ++i) {
     p[i] = 1.0f / (1.0f + std::exp(-z[i]));
   }
-  return out;
 }
 
 PairPenaltyResult clean_logit_pairing(const Tensor& logits_a,

@@ -37,6 +37,7 @@ float bce_with_logits_into(const Tensor& logits, const Tensor& targets,
 
 /// Element-wise sigmoid (probability view of a discriminator's raw logits).
 Tensor sigmoid(const Tensor& logits);
+void sigmoid_into(Tensor& out, const Tensor& logits);
 
 struct PairPenaltyResult {
   float value = 0.0f;

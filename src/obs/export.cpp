@@ -55,6 +55,18 @@ void write_jsonl(std::ostream& out, Telemetry& telemetry) {
     record["value"] = value;
     out << Json(std::move(record)).dump() << "\n";
   }
+  for (const auto& snapshot : telemetry.histogram_values()) {
+    JsonObject record;
+    record["type"] = "histogram";
+    record["name"] = snapshot.name;
+    record["count"] = snapshot.count;
+    record["mean_s"] = snapshot.mean_s;
+    record["p50_s"] = snapshot.p50_s;
+    record["p95_s"] = snapshot.p95_s;
+    record["p99_s"] = snapshot.p99_s;
+    record["max_s"] = snapshot.max_s;
+    out << Json(std::move(record)).dump() << "\n";
+  }
 }
 
 Table span_table(const Telemetry& telemetry) {
@@ -95,6 +107,13 @@ Table metric_table(Telemetry& telemetry) {
   }
   for (const auto& [name, value] : telemetry.gauge_values()) {
     table.add_row({name, "gauge", Table::fixed(value, 2)});
+  }
+  for (const auto& snapshot : telemetry.histogram_values()) {
+    table.add_row({snapshot.name, "histogram",
+                   "n=" + std::to_string(snapshot.count) +
+                       " p50=" + Table::fixed(snapshot.p50_s * 1e3, 3) +
+                       "ms p99=" + Table::fixed(snapshot.p99_s * 1e3, 3) +
+                       "ms"});
   }
   return table;
 }

@@ -7,8 +7,11 @@
 //    "depth":1,"start_s":0.012,"dur_s":1.43}
 //   {"type":"counter","name":"attack.steps","value":640}
 //   {"type":"gauge","name":"pool.misses","value":0}
-// Spans are ordered by seq (global open order); counters and gauges are
-// sorted by name. Gauge providers (e.g. the BufferPool) run first, so the
+//   {"type":"histogram","name":"serve.latency","count":4096,
+//    "mean_s":0.0021,"p50_s":0.0019,"p95_s":0.0031,"p99_s":0.0038,
+//    "max_s":0.0102}
+// Spans are ordered by seq (global open order); counters, gauges and
+// histograms are sorted by name. Gauge providers (e.g. the BufferPool) run first, so the
 // gauges reflect the moment of export.
 #pragma once
 

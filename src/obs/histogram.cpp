@@ -1,0 +1,171 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace zkg::obs {
+
+namespace {
+
+/// Seconds -> quantized microseconds for the sum/min/max accumulators.
+std::uint64_t to_micros(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  return static_cast<std::uint64_t>(seconds * 1e6 + 0.5);
+}
+
+/// Relaxed atomic max/min via CAS; contention on these is rare (only when a
+/// new extreme is observed).
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double seconds) {
+  if (!std::isfinite(seconds) || seconds < kMinSeconds) return 0;
+  // Position within the log range, in octaves above kMinSeconds.
+  const double octave = std::log2(seconds / kMinSeconds);
+  if (octave <= 0.0) return 0;
+  const int whole = static_cast<int>(octave);
+  if (whole >= kOctaves) return kBucketCount - 1;
+  // Linear position within the octave: [lo, 2*lo) split into kSubBuckets.
+  const double lo = kMinSeconds * std::exp2(whole);
+  int sub = static_cast<int>((seconds - lo) / lo * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return whole * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int index) {
+  const int whole = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const double lo = kMinSeconds * std::exp2(whole);
+  return lo + lo * static_cast<double>(sub) / kSubBuckets;
+}
+
+double Histogram::bucket_upper(int index) {
+  const int whole = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const double lo = kMinSeconds * std::exp2(whole);
+  return lo + lo * static_cast<double>(sub + 1) / kSubBuckets;
+}
+
+void Histogram::record(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) seconds = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_index(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t micros = to_micros(seconds);
+  total_micros_.fetch_add(micros, std::memory_order_relaxed);
+  atomic_max(max_micros_, micros);
+  atomic_min(min_micros_, micros);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::total_seconds() const {
+  return static_cast<double>(total_micros_.load(std::memory_order_relaxed)) *
+         1e-6;
+}
+
+double Histogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+}
+
+double Histogram::max_seconds() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+               : static_cast<double>(
+                     max_micros_.load(std::memory_order_relaxed)) *
+                     1e-6;
+}
+
+double Histogram::min_seconds() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+               : static_cast<double>(
+                     min_micros_.load(std::memory_order_relaxed)) *
+                     1e-6;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value (1-based, ceil): p50 of 10 values is the 5th.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Interpolate within the bucket by the rank's position inside it.
+      const double within = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+      const double lo = bucket_lower(b);
+      const double hi = bucket_upper(b);
+      return std::min(lo + (hi - lo) * within, max_seconds());
+    }
+    cumulative += in_bucket;
+  }
+  return max_seconds();
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int b = 0; b < kBucketCount; ++b) {
+    const std::uint64_t n = other.buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[static_cast<std::size_t>(b)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+  const std::uint64_t other_count =
+      other.count_.load(std::memory_order_relaxed);
+  if (other_count == 0) return;
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  total_micros_.fetch_add(other.total_micros_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  atomic_max(max_micros_, other.max_micros_.load(std::memory_order_relaxed));
+  atomic_min(min_micros_, other.min_micros_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_micros_.store(0, std::memory_order_relaxed);
+  max_micros_.store(0, std::memory_order_relaxed);
+  min_micros_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+std::string histogram_summary(const Histogram& histogram) {
+  std::ostringstream out;
+  out << "count=" << histogram.count() << " mean="
+      << Table::fixed(histogram.mean_seconds() * 1e3, 3) << "ms p50="
+      << Table::fixed(histogram.quantile(0.5) * 1e3, 3) << "ms p95="
+      << Table::fixed(histogram.quantile(0.95) * 1e3, 3) << "ms p99="
+      << Table::fixed(histogram.quantile(0.99) * 1e3, 3) << "ms max="
+      << Table::fixed(histogram.max_seconds() * 1e3, 3) << "ms";
+  return out.str();
+}
+
+}  // namespace zkg::obs

@@ -1,0 +1,69 @@
+// Log-bucketed latency histogram (HDR-style): fixed storage, lock-free
+// recording, quantile estimates with bounded relative error.
+//
+// Values are seconds. Buckets are log-linear: each power-of-two octave above
+// kMinSeconds is split into kSubBuckets linear sub-buckets, so the relative
+// quantile error is bounded by 1/kSubBuckets (12.5%) across the whole
+// trackable range [1us, ~4.7h]. Values below/above the range clamp into the
+// first/last bucket. Storage is a fixed array of relaxed atomics — record()
+// never allocates, never locks, and is safe from any thread, which is what
+// the serving hot path needs (DESIGN.md §14).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace zkg::obs {
+
+class Histogram {
+ public:
+  static constexpr double kMinSeconds = 1e-6;  // 1 microsecond resolution
+  static constexpr int kOctaves = 34;          // up to ~1.7e4 s (4.7 hours)
+  static constexpr int kSubBuckets = 8;        // 12.5% relative error bound
+  static constexpr int kBucketCount = kOctaves * kSubBuckets;
+
+  /// Records one measurement. Thread-safe (relaxed atomics), allocation-free.
+  /// Non-finite or negative values clamp to the first bucket.
+  void record(double seconds);
+
+  std::uint64_t count() const;
+  /// Sum of recorded values in seconds (accumulated as integer microseconds,
+  /// so concurrent recording stays exact and lock-free).
+  double total_seconds() const;
+  double mean_seconds() const;
+  /// Largest / smallest recorded value, quantized to microseconds.
+  double max_seconds() const;
+  double min_seconds() const;
+
+  /// Quantile estimate for q in [0, 1]: the upper edge of the bucket holding
+  /// the q-th recorded value, linearly interpolated within the bucket.
+  /// Returns 0 when empty. quantile(0.5) is p50, quantile(0.99) is p99.
+  double quantile(double q) const;
+
+  /// Adds `other`'s buckets and counters into this histogram. Exact: the
+  /// merged histogram equals one that saw both recording streams.
+  void merge(const Histogram& other);
+
+  /// Zeroes every bucket and counter.
+  void reset();
+
+  /// Index of the bucket covering `seconds` (exposed for tests).
+  static int bucket_index(double seconds);
+  /// Inclusive lower / exclusive upper value edge of bucket `index`.
+  static double bucket_lower(int index);
+  static double bucket_upper(int index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_micros_{0};
+  std::atomic<std::uint64_t> max_micros_{0};
+  std::atomic<std::uint64_t> min_micros_{UINT64_MAX};
+};
+
+/// One-line human summary: "count=N mean=.. p50=.. p95=.. p99=.. max=..".
+std::string histogram_summary(const Histogram& histogram);
+
+}  // namespace zkg::obs

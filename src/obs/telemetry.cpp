@@ -95,6 +95,11 @@ Gauge& Telemetry::gauge(const std::string& name) {
   return gauges_[name];
 }
 
+Histogram& Telemetry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_[name];
+}
+
 void Telemetry::add_gauge_provider(std::function<void(Telemetry&)> provider) {
   std::lock_guard<std::mutex> lock(mutex_);
   providers_.push_back(std::move(provider));
@@ -146,11 +151,31 @@ std::vector<std::pair<std::string, double>> Telemetry::gauge_values() const {
   return out;
 }
 
+std::vector<Telemetry::HistogramSnapshot> Telemetry::histogram_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.count = histogram.count();
+    snapshot.mean_s = histogram.mean_seconds();
+    snapshot.p50_s = histogram.quantile(0.5);
+    snapshot.p95_s = histogram.quantile(0.95);
+    snapshot.p99_s = histogram.quantile(0.99);
+    snapshot.max_s = histogram.max_seconds();
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
 void Telemetry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
   for (auto& [name, counter] : counters_) counter.reset();
   for (auto& [name, gauge] : gauges_) gauge.reset();
+  for (auto& [name, histogram] : histograms_) histogram.reset();
 }
 
 void SpanGuard::begin(const char* name) {

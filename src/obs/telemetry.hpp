@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/stopwatch.hpp"
+#include "obs/histogram.hpp"
 
 namespace zkg::obs {
 
@@ -109,11 +110,13 @@ class Telemetry {
   std::string trace_path() const;
   void set_trace_path(std::string path);
 
-  /// Named counter/gauge; created on first use. References stay valid for
-  /// the process lifetime, so hot sites cache them in function-local
-  /// statics. Names are dotted lower_snake ("subsystem.metric").
+  /// Named counter/gauge/histogram; created on first use. References stay
+  /// valid for the process lifetime, so hot sites cache them in
+  /// function-local statics. Names are dotted lower_snake
+  /// ("subsystem.metric").
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// Registers a callback run before every export, used by subsystems that
   /// keep their own counters (BufferPool) to publish them as gauges.
@@ -128,6 +131,19 @@ class Telemetry {
   std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
   std::vector<std::pair<std::string, double>> gauge_values() const;
 
+  /// Aggregate view of one histogram (counts plus the standard latency
+  /// quantiles), as written to the JSONL export.
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean_s = 0.0;
+    double p50_s = 0.0;
+    double p95_s = 0.0;
+    double p99_s = 0.0;
+    double max_s = 0.0;
+  };
+  std::vector<HistogramSnapshot> histogram_values() const;
+
   /// Clears recorded spans and zeroes every counter/gauge (registrations
   /// and providers survive). Call only with no spans open.
   void reset();
@@ -140,6 +156,7 @@ class Telemetry {
   std::vector<SpanRecord> spans_;
   std::map<std::string, Counter> counters_;  // node-based: stable addresses
   std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
   std::vector<std::function<void(Telemetry&)>> providers_;
   std::string trace_path_;
   const Stopwatch epoch_;  // never reset: all start_s share one origin
@@ -188,6 +205,18 @@ class SpanGuard {
       static ::zkg::obs::Counter& zkg_obs_counter_ =                    \
           ::zkg::obs::Telemetry::global().counter(name);                \
       zkg_obs_counter_.add(static_cast<std::uint64_t>(n));              \
+    }                                                                   \
+  } while (0)
+
+/// Records `seconds` into histogram `name` when tracing is enabled. Same
+/// disabled fast path as ZKG_COUNT: one branch, no allocation, the
+/// histogram is never even created.
+#define ZKG_HISTO(name, seconds)                                        \
+  do {                                                                  \
+    if (::zkg::obs::enabled()) {                                        \
+      static ::zkg::obs::Histogram& zkg_obs_histogram_ =                \
+          ::zkg::obs::Telemetry::global().histogram(name);              \
+      zkg_obs_histogram_.record(seconds);                               \
     }                                                                   \
   } while (0)
 

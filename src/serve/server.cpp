@@ -1,0 +1,252 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "tensor/pool.hpp"
+
+namespace zkg::serve {
+
+void ServeConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw ConfigError("serve::ServeConfig: " + what);
+  };
+  if (max_batch < 1) fail("max_batch must be >= 1");
+  if (!std::isfinite(max_delay_s) || max_delay_s < 0.0) {
+    fail("max_delay_s must be finite and >= 0");
+  }
+  if (max_queue < 1) fail("max_queue must be >= 1");
+  if (!std::isfinite(max_wait_s) || max_wait_s < 0.0) {
+    fail("max_wait_s must be finite and >= 0");
+  }
+}
+
+InferenceServer::InferenceServer(models::Classifier& model, ServeConfig config,
+                                 models::Discriminator* alarm)
+    : model_(model), config_(config), session_(model, alarm) {
+  config_.validate();
+  engine_.submit([this] { engine_loop(); });
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+std::future<Prediction> InferenceServer::submit(const Tensor& image) {
+  const models::InputSpec& spec = model_.spec();
+  const bool chw = image.ndim() == 3 && image.dim(0) == spec.channels &&
+                   image.dim(1) == spec.height && image.dim(2) == spec.width;
+  const bool nchw = image.ndim() == 4 && image.dim(0) == 1 &&
+                    image.dim(1) == spec.channels &&
+                    image.dim(2) == spec.height && image.dim(3) == spec.width;
+  ZKG_CHECK(chw || nchw)
+      << " serve: request shape " << shape_to_string(image.shape())
+      << " does not match model input [" << spec.channels << ", "
+      << spec.height << ", " << spec.width << "]";
+
+  Request request;
+  request.image = image;  // copied: the caller may reuse its tensor
+  std::future<Prediction> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw ShutDown("serve: submit after stop(); the server is draining");
+    }
+    const auto depth = static_cast<std::int64_t>(queue_.size());
+    if (depth >= config_.max_queue) {
+      ++rejected_;
+      ZKG_COUNT("serve.rejected", 1);
+      std::ostringstream what;
+      what << "serve: overloaded — " << depth
+           << " requests queued (max_queue " << config_.max_queue << ")";
+      throw Overloaded(what.str(), depth);
+    }
+    if (config_.max_wait_s > 0.0 && ewma_batch_s_ > 0.0) {
+      // Batches ahead of this request, each costing one smoothed batch time.
+      const double batches_ahead =
+          static_cast<double>(depth / config_.max_batch + 1);
+      const double estimate = batches_ahead * ewma_batch_s_;
+      if (estimate > config_.max_wait_s) {
+        ++rejected_;
+        ZKG_COUNT("serve.rejected", 1);
+        std::ostringstream what;
+        what << "serve: overloaded — estimated wait "
+             << estimate * 1e3 << " ms exceeds budget "
+             << config_.max_wait_s * 1e3 << " ms at depth " << depth;
+        throw Overloaded(what.str(), depth);
+      }
+    }
+    request.enqueue_s = epoch_.seconds();
+    queue_.push_back(std::move(request));
+    ++accepted_;
+  }
+  ZKG_COUNT("serve.accepted", 1);
+  cv_.notify_all();
+  return future;
+}
+
+void InferenceServer::engine_loop() {
+  std::vector<Request> taken;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stopping_ || (!queue_.empty() && !paused_);
+    });
+    if (stopping_ && queue_.empty()) break;
+
+    FlushKind kind = FlushKind::kDrain;
+    if (!stopping_) {
+      // Deadline batching: sleep until the batch fills, the oldest queued
+      // request's deadline expires, or a stop/pause intervenes.
+      const double deadline = queue_.front().enqueue_s + config_.max_delay_s;
+      bool full = false;
+      while (!stopping_ && !paused_) {
+        if (static_cast<std::int64_t>(queue_.size()) >= config_.max_batch) {
+          full = true;
+          break;
+        }
+        const double remaining = deadline - epoch_.seconds();
+        if (remaining <= 0.0) break;
+        cv_.wait_for(lock, std::chrono::duration<double>(remaining));
+      }
+      if (paused_ && !stopping_) continue;  // hold the queue until resume()
+      kind = stopping_ ? FlushKind::kDrain
+                       : (full ? FlushKind::kSize : FlushKind::kDeadline);
+    }
+    if (queue_.empty()) continue;
+
+    const std::size_t take = std::min(
+        queue_.size(), static_cast<std::size_t>(config_.max_batch));
+    taken.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      taken.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    run_batch(taken, kind);
+    taken.clear();
+    lock.lock();
+  }
+  engine_done_ = true;
+}
+
+void InferenceServer::run_batch(std::vector<Request>& taken, FlushKind kind) {
+  ZKG_SPAN("serve.batch");
+  const Stopwatch batch_watch;
+  const auto batch = static_cast<std::int64_t>(taken.size());
+  const models::InputSpec& spec = model_.spec();
+  const std::int64_t pixels = spec.pixels();
+  const std::vector<std::int64_t>* labels = nullptr;
+  const Tensor* scores = nullptr;
+  std::exception_ptr error;
+  try {
+    // Gather: one pooled [B, C, H, W] tensor, rows in arrival order.
+    ensure_shape(batch_, spec.batch_shape(batch));
+    for (std::int64_t i = 0; i < batch; ++i) {
+      std::copy_n(taken[static_cast<std::size_t>(i)].image.data(), pixels,
+                  batch_.data() + i * pixels);
+    }
+    // One forward for the whole batch; alarm head reuses its logits.
+    labels = &session_.predict(batch_);
+    if (session_.has_alarm()) scores = &session_.alarm_scores();
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  // Book-keeping BEFORE the scatter: a caller that has just observed a
+  // completed future must see the EWMA this batch contributed, so the
+  // estimated-wait admission check is never one batch stale.
+  const double batch_seconds = batch_watch.seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    completed_ += taken.size();
+    batch_seconds_sum_ += batch_seconds;
+    max_batch_observed_ = std::max(max_batch_observed_, batch);
+    switch (kind) {
+      case FlushKind::kSize: ++size_flushes_; break;
+      case FlushKind::kDeadline: ++deadline_flushes_; break;
+      case FlushKind::kDrain: ++drain_flushes_; break;
+    }
+    ewma_batch_s_ = ewma_batch_s_ == 0.0
+                        ? batch_seconds
+                        : 0.8 * ewma_batch_s_ + 0.2 * batch_seconds;
+  }
+  batch_forward_.record(batch_seconds);
+  ZKG_HISTO("serve.batch_seconds", batch_seconds);
+  ZKG_COUNT("serve.batches", 1);
+
+  // Scatter each row's result back to its waiting caller; a failed
+  // forward fails every request in the batch.
+  for (std::int64_t i = 0; i < batch; ++i) {
+    Request& request = taken[static_cast<std::size_t>(i)];
+    if (error) {
+      request.promise.set_exception(error);
+    } else {
+      Prediction prediction;
+      prediction.label = (*labels)[static_cast<std::size_t>(i)];
+      if (scores != nullptr) prediction.alarm_score = (*scores)[i];
+      request.promise.set_value(prediction);
+    }
+  }
+  const double now = epoch_.seconds();
+  for (const Request& request : taken) {
+    const double sojourn = now - request.enqueue_s;
+    latency_.record(sojourn);
+    ZKG_HISTO("serve.latency", sojourn);
+  }
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  engine_.wait_idle();
+}
+
+void InferenceServer::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void InferenceServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.accepted = accepted_;
+    stats.rejected = rejected_;
+    stats.completed = completed_;
+    stats.batches = batches_;
+    stats.size_flushes = size_flushes_;
+    stats.deadline_flushes = deadline_flushes_;
+    stats.drain_flushes = drain_flushes_;
+    stats.max_batch_observed = max_batch_observed_;
+    stats.mean_batch_s =
+        batches_ == 0 ? 0.0
+                      : batch_seconds_sum_ / static_cast<double>(batches_);
+  }
+  stats.p50_latency_s = latency_.quantile(0.5);
+  stats.p95_latency_s = latency_.quantile(0.95);
+  stats.p99_latency_s = latency_.quantile(0.99);
+  stats.max_latency_s = latency_.max_seconds();
+  stats.elapsed_s = epoch_.seconds();
+  stats.throughput_rps =
+      stats.elapsed_s > 0.0
+          ? static_cast<double>(stats.completed) / stats.elapsed_s
+          : 0.0;
+  return stats;
+}
+
+}  // namespace zkg::serve

@@ -1,0 +1,204 @@
+// InferenceServer: the high-throughput robust serving layer (DESIGN.md §14).
+//
+// A multi-threaded request front-end feeding a dynamic micro-batching
+// engine. Callers submit single images from any thread and get a
+// std::future<Prediction> back; a dedicated engine thread collects pending
+// requests into a batch tensor and dispatches it when either
+//
+//   * the batch is full (config.max_batch requests — a size flush), or
+//   * the oldest queued request has waited config.max_delay_s (a deadline
+//     flush),
+//
+// then runs ONE pooled forward through an InferenceSession (classifier
+// plus, when attached, the ZK-GanDef discriminator perturbation alarm —
+// the operational pattern the paper's intro motivates for spam filtering /
+// face recognition front-ends) and scatters per-request results back to
+// the waiting futures. Batching is where the throughput comes from: a
+// batch-B GEMM amortizes kernel dispatch, im2col and parallel_for fan-out
+// over B requests, so per-request cost collapses vs batch-1 serving (see
+// bench/bench_serve.cpp).
+//
+// Admission control: the pending queue is bounded. A submit that finds
+// config.max_queue requests already waiting — or, with max_wait_s set, an
+// estimated queueing delay beyond that budget (queue depth / max_batch
+// batches ahead, each costing the EWMA batch time) — throws the typed
+// serve::Overloaded instead of queueing unboundedly: under overload the
+// server sheds load early and keeps latency bounded for the requests it
+// accepts. Submitting after stop() throws serve::ShutDown.
+//
+// Observability: per-request sojourn time (submit -> result ready) and
+// per-batch forward time land in owned obs::Histogram instances surfaced
+// by stats() (p50/p95/p99, throughput) and are mirrored into the global
+// telemetry registry (serve.* counters / histograms) when ZKG_TRACE is on.
+//
+// Shutdown: stop() refuses new work, drains every queued request through
+// the normal batch path (no future is ever abandoned), then joins the
+// engine. The destructor calls stop().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "common/threadpool.hpp"
+#include "models/session.hpp"
+#include "obs/histogram.hpp"
+
+namespace zkg::serve {
+
+/// Batching and admission policy. validate() throws zkg::ConfigError on the
+/// first bad field (same convention as defense::TrainConfig).
+struct ServeConfig {
+  /// Dispatch a batch as soon as this many requests are pending.
+  std::int64_t max_batch = 32;
+  /// Dispatch a partial batch once its oldest request has waited this long.
+  double max_delay_s = 0.002;
+  /// Admission bound: reject when this many requests are already queued.
+  std::int64_t max_queue = 1024;
+  /// Estimated-wait budget in seconds; 0 disables the estimate check and
+  /// leaves depth-only admission.
+  double max_wait_s = 0.0;
+
+  void validate() const;
+};
+
+/// Result of one served request.
+struct Prediction {
+  std::int64_t label = -1;
+  /// Discriminator P(perturbed) in [0, 1]; -1 when the server has no alarm
+  /// head attached.
+  float alarm_score = -1.0f;
+};
+
+/// Load-shed rejection: the queue (or the wait estimate) exceeded its
+/// budget. Carries the depth observed at rejection time.
+class Overloaded : public Error {
+ public:
+  Overloaded(const std::string& what, std::int64_t depth)
+      : Error(what), depth_(depth) {}
+  std::int64_t queue_depth() const { return depth_; }
+
+ private:
+  std::int64_t depth_;
+};
+
+/// Raised by submit() after stop(): the server no longer accepts work.
+class ShutDown : public Error {
+ public:
+  explicit ShutDown(const std::string& what) : Error(what) {}
+};
+
+/// Counters and latency aggregates since construction; see stats().
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;   // Overloaded submissions (not ShutDown)
+  std::uint64_t completed = 0;  // futures fulfilled (results or errors)
+  std::uint64_t batches = 0;
+  std::uint64_t size_flushes = 0;      // dispatched at max_batch
+  std::uint64_t deadline_flushes = 0;  // dispatched at max_delay_s
+  std::uint64_t drain_flushes = 0;     // dispatched during stop()
+  std::int64_t max_batch_observed = 0;
+  double mean_batch_s = 0.0;     // mean forward+scatter time per batch
+  double p50_latency_s = 0.0;    // request sojourn: submit -> result
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double elapsed_s = 0.0;        // since server construction
+  double throughput_rps = 0.0;   // completed / elapsed_s
+};
+
+class InferenceServer {
+ public:
+  /// Serves `model`, optionally scoring every request through the
+  /// ZK-GanDef discriminator `alarm`. Both must outlive the server. The
+  /// engine thread starts immediately.
+  InferenceServer(models::Classifier& model, ServeConfig config,
+                  models::Discriminator* alarm = nullptr);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one image ([C, H, W] or [1, C, H, W] matching the model's
+  /// InputSpec; pixels preprocessed like training data). Thread-safe.
+  /// Throws Overloaded under load-shedding, ShutDown after stop(), and
+  /// zkg::InvalidArgument on a shape mismatch. The image is copied, so the
+  /// caller may reuse its tensor immediately.
+  std::future<Prediction> submit(const Tensor& image);
+
+  /// Refuses new submissions, drains every queued request, joins the
+  /// engine. Idempotent; called by the destructor.
+  void stop();
+
+  /// Suspends dispatching (queued and new requests wait; admission still
+  /// applies). Deterministic batch assembly for tests and maintenance
+  /// windows: pause, enqueue max_batch requests, resume — one exact size
+  /// flush. Deadlines keep running from the original enqueue times, so a
+  /// pause longer than max_delay_s deadline-flushes on resume. stop()
+  /// overrides a pause so shutdown always drains.
+  void pause();
+  void resume();
+
+  /// Snapshot of counters and latency aggregates. Thread-safe.
+  ServerStats stats() const;
+
+  const ServeConfig& config() const { return config_; }
+  bool has_alarm() const { return session_.has_alarm(); }
+
+ private:
+  struct Request {
+    Tensor image;
+    std::promise<Prediction> promise;
+    double enqueue_s = 0.0;  // on epoch_'s clock
+  };
+
+  /// Why a batch left the queue; drives the flush counters.
+  enum class FlushKind { kSize, kDeadline, kDrain };
+
+  /// Engine body, submitted once to engine_ (a dedicated 1-worker pool —
+  /// the repo's single parallelism entry point, tools/lint.py
+  /// parallel-primitives). Loops until stop() and the queue is drained.
+  void engine_loop();
+  /// Runs one batch outside the lock: gather -> forward -> scatter.
+  void run_batch(std::vector<Request>& taken, FlushKind kind);
+
+  models::Classifier& model_;
+  ServeConfig config_;
+  models::InferenceSession session_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  bool paused_ = false;
+  bool engine_done_ = false;
+  double ewma_batch_s_ = 0.0;  // smoothed batch time for wait estimates
+
+  // Stats (guarded by mutex_ except the histograms, which are atomic).
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t size_flushes_ = 0;
+  std::uint64_t deadline_flushes_ = 0;
+  std::uint64_t drain_flushes_ = 0;
+  std::int64_t max_batch_observed_ = 0;
+  double batch_seconds_sum_ = 0.0;
+  obs::Histogram latency_;        // request sojourn
+  obs::Histogram batch_forward_;  // per-batch engine time
+
+  Tensor batch_;  // pooled gather buffer [B, C, H, W]
+  const Stopwatch epoch_;
+
+  // Declared last so the engine thread is joined (pool destructor) before
+  // any member it touches is destroyed; stop() makes this explicit anyway.
+  ThreadPool engine_{1};
+};
+
+}  // namespace zkg::serve

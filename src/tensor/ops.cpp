@@ -298,11 +298,17 @@ Tensor row_max(const Tensor& a) {
 }
 
 std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  std::vector<std::int64_t> out;
+  argmax_rows_into(out, a);
+  return out;
+}
+
+void argmax_rows_into(std::vector<std::int64_t>& out, const Tensor& a) {
   ZKG_REQUIRE_RANK(a, 2, "argmax_rows");
   ZKG_REQUIRE(a.dim(1) > 0) << " argmax_rows of zero-width tensor";
   const std::int64_t rows = a.dim(0);
   const std::int64_t cols = a.dim(1);
-  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  out.resize(static_cast<std::size_t>(rows));
   for (std::int64_t r = 0; r < rows; ++r) {
     std::int64_t best = 0;
     for (std::int64_t c = 1; c < cols; ++c) {
@@ -310,7 +316,6 @@ std::vector<std::int64_t> argmax_rows(const Tensor& a) {
     }
     out[static_cast<std::size_t>(r)] = best;
   }
-  return out;
 }
 
 void softmax_rows_into(Tensor& out, const Tensor& logits) {

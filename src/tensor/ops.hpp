@@ -82,6 +82,9 @@ Tensor row_max(const Tensor& a);                 // -> [rows]
 void row_sum_into(Tensor& out, const Tensor& a);
 void row_max_into(Tensor& out, const Tensor& a);
 std::vector<std::int64_t> argmax_rows(const Tensor& a);  // -> rows indices
+/// As argmax_rows, reusing `out`'s capacity (no allocation once it has
+/// seen the batch size) — the argmax half of Classifier::predict_into.
+void argmax_rows_into(std::vector<std::int64_t>& out, const Tensor& a);
 
 /// Row-wise softmax of a [rows, cols] tensor (numerically stabilised).
 Tensor softmax_rows(const Tensor& logits);

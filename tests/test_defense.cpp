@@ -228,12 +228,12 @@ TEST(TrainObserver, MultipleObserversAndClear) {
   EXPECT_THROW(trainer.add_observer(nullptr), InvalidArgument);
 }
 
-TEST(TrainObserver, DeprecatedVerboseFlagInstallsConsoleObserver) {
+TEST(TrainObserver, ConsoleProgressObserverPrintsPerEpoch) {
   const data::Dataset train = small_train_set(128);
   models::Classifier model = fresh_model();
-  TrainConfig config = quick_config(1);
-  config.verbose = true;  // legacy call sites keep their per-epoch output
-  VanillaTrainer trainer(model, config);
+  VanillaTrainer trainer(model, quick_config(1));
+  ConsoleProgressObserver progress;
+  trainer.add_observer(&progress);
   ::testing::internal::CaptureStderr();
   trainer.fit(train);
   const std::string output = ::testing::internal::GetCapturedStderr();

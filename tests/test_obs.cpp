@@ -240,6 +240,117 @@ TEST(ObsCounter, ResetZeroesValuesButKeepsRegistration) {
   EXPECT_EQ(fixture.t.span_count(), 0u);
 }
 
+// -------------------------------------------------------------- Histograms
+
+TEST(ObsHistogram, RecordsCountMeanAndExtremes) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.record(0.001);
+  h.record(0.003);
+  h.record(0.002);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.mean_seconds(), 0.002, 1e-4);
+  EXPECT_NEAR(h.min_seconds(), 0.001, 1e-5);
+  EXPECT_NEAR(h.max_seconds(), 0.003, 1e-5);
+  EXPECT_GT(h.total_seconds(), 0.0);
+}
+
+TEST(ObsHistogram, QuantilesAreMonotoneAndWithinBucketError) {
+  obs::Histogram h;
+  // 1ms .. 100ms uniformly: the true p50 is ~50.5ms.
+  for (int i = 1; i <= 100; ++i) h.record(i * 1e-3);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  // Log-bucketed storage: 2^(1/kSubBuckets) relative error (12.5% here).
+  EXPECT_NEAR(p50, 0.0505, 0.0505 * 0.15);
+  EXPECT_NEAR(p99, 0.099, 0.099 * 0.15);
+  EXPECT_LE(h.quantile(0.0), p50);
+  EXPECT_LE(p50, h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), p99);
+  // The top quantile never reports past the observed maximum.
+  EXPECT_LE(h.quantile(1.0), h.max_seconds() + 1e-12);
+}
+
+TEST(ObsHistogram, BucketIndexRoundTrips) {
+  for (const double s : {1e-7, 1e-6, 3.7e-5, 1e-3, 0.25, 7.0, 1000.0}) {
+    const int index = obs::Histogram::bucket_index(s);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, obs::Histogram::kBucketCount);
+    // The value lands inside (or below the floor of) its bucket.
+    if (s >= obs::Histogram::kMinSeconds) {
+      EXPECT_GE(s, obs::Histogram::bucket_lower(index) * (1 - 1e-9));
+      EXPECT_LE(s, obs::Histogram::bucket_upper(index) * (1 + 1e-9));
+    }
+  }
+}
+
+TEST(ObsHistogram, MergeAndResetAreExact) {
+  obs::Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.record(1e-3);
+  for (int i = 0; i < 30; ++i) b.record(4e-3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 40u);
+  EXPECT_NEAR(a.max_seconds(), 4e-3, 1e-5);
+  EXPECT_NEAR(a.min_seconds(), 1e-3, 1e-5);
+  // 75% of the mass sits at 4ms: p90 lands in that bucket.
+  EXPECT_NEAR(a.quantile(0.9), 4e-3, 4e-3 * 0.15);
+  EXPECT_EQ(b.count(), 30u);  // merge leaves the source untouched
+
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.max_seconds(), 0.0);
+  EXPECT_EQ(a.quantile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, SummaryMentionsQuantiles) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(2e-3);
+  const std::string summary = obs::histogram_summary(h);
+  EXPECT_NE(summary.find("p50"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+}
+
+TEST(ObsHistogram, RegistryReturnsStableReferencesAndExportsJsonl) {
+  TelemetryFixture fixture;
+  obs::Histogram& h = fixture.t.histogram("test.latency");
+  EXPECT_EQ(&h, &fixture.t.histogram("test.latency"));
+  ZKG_HISTO("test.latency", 0.002);
+  ZKG_HISTO("test.latency", 0.004);
+  EXPECT_EQ(h.count(), 2u);
+
+  const std::vector<obs::Telemetry::HistogramSnapshot> snaps =
+      fixture.t.histogram_values();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "test.latency");
+  EXPECT_EQ(snaps[0].count, 2u);
+  EXPECT_NEAR(snaps[0].mean_s, 0.003, 1e-4);
+  EXPECT_GT(snaps[0].p99_s, 0.0);
+
+  std::ostringstream out;
+  obs::write_jsonl(out, fixture.t);
+  std::istringstream lines(out.str());
+  std::string line;
+  bool saw_histogram = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const obs::Json record = obs::json_parse(line);
+    if (record.at("type").as_string() != "histogram") continue;
+    saw_histogram = true;
+    EXPECT_EQ(record.at("name").as_string(), "test.latency");
+    EXPECT_DOUBLE_EQ(record.at("count").as_number(), 2.0);
+    EXPECT_GT(record.at("p50_s").as_number(), 0.0);
+    EXPECT_GE(record.at("p99_s").as_number(),
+              record.at("p50_s").as_number());
+    EXPECT_GT(record.at("max_s").as_number(), 0.0);
+  }
+  EXPECT_TRUE(saw_histogram);
+
+  fixture.t.reset();
+  EXPECT_EQ(h.count(), 0u);  // same object, zeroed alongside counters
+  EXPECT_EQ(&h, &fixture.t.histogram("test.latency"));
+}
+
 // ------------------------------------------------------------------ Export
 
 TEST(ObsExport, JsonlRoundTripsThroughParser) {
@@ -364,6 +475,7 @@ TEST(ObsDisabled, SpanAndCountMacrosRecordNothingAndNeverAllocate) {
   for (int i = 0; i < 10000; ++i) {
     ZKG_SPAN("disabled.span");
     ZKG_COUNT("disabled.count", 1);
+    ZKG_HISTO("disabled.histo", 1e-3);
   }
   const std::uint64_t allocs_after = g_news.load(std::memory_order_relaxed);
 
@@ -373,6 +485,10 @@ TEST(ObsDisabled, SpanAndCountMacrosRecordNothingAndNeverAllocate) {
   const auto counters = t.counter_values();
   for (const auto& [name, value] : counters) {
     EXPECT_NE(name, "disabled.count");
+  }
+  // Likewise the histogram: the disabled fast path is a single branch.
+  for (const obs::Telemetry::HistogramSnapshot& snap : t.histogram_values()) {
+    EXPECT_NE(snap.name, "disabled.histo");
   }
 }
 

@@ -13,7 +13,9 @@
 #include "data/dataset.hpp"
 #include "data/preprocess.hpp"
 #include "defense/cls.hpp"
+#include "models/discriminator.hpp"
 #include "models/lenet.hpp"
+#include "models/session.hpp"
 #include "nn/loss.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/ops.hpp"
@@ -314,6 +316,53 @@ TEST(SteadyState, PgdAttackStepHasZeroPoolMissesAfterWarmup) {
   const PoolStats stats = BufferPool::global().stats();
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+}
+
+// The inference path behind the Evaluator and the serving engine: once the
+// batch shape has been seen, repeated predictions through an
+// InferenceSession (forward_into + argmax_rows_into + pooled alarm head)
+// must never touch the allocator.
+TEST(SteadyState, InferenceSessionPredictHasZeroPoolMissesAfterWarmup) {
+  auto model = small_model(17);
+  Rng disc_rng(19);
+  models::Discriminator alarm(10, disc_rng);
+  Rng data_rng(29);
+  const Tensor images = rand_uniform({16, 1, 28, 28}, data_rng);
+
+  models::InferenceSession session(model, &alarm);
+  session.predict(images);  // warmup
+  session.alarm_scores();
+
+  BufferPool::global().reset_stats();
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<std::int64_t>& labels = session.predict(images);
+    EXPECT_EQ(labels.size(), 16u);
+    const Tensor& scores = session.alarm_scores();
+    EXPECT_EQ(scores.shape(), Shape({16, 1}));
+  }
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+}
+
+// Same property for the redesigned Classifier::predict_into: the pooled
+// member logits scratch makes repeat calls allocation-free, unlike the
+// allocating predict() it replaces on hot paths.
+TEST(SteadyState, ClassifierPredictIntoHasZeroPoolMissesAfterWarmup) {
+  auto model = small_model(31);
+  Rng data_rng(37);
+  const Tensor images = rand_uniform({8, 1, 28, 28}, data_rng);
+  std::vector<std::int64_t> labels;
+  model.predict_into(images, labels);  // warmup: logits scratch + labels sized
+
+  BufferPool::global().reset_stats();
+  for (int i = 0; i < 3; ++i) {
+    model.predict_into(images, labels);
+    EXPECT_EQ(labels.size(), 8u);
+  }
+  const PoolStats stats = BufferPool::global().stats();
+  EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(stats.bytes_allocated, 0u);
 }
 
