@@ -1,0 +1,119 @@
+#include "common/lockrank.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zkg::debug {
+
+const char* lock_rank_name(LockRank rank) {
+  switch (rank) {
+    case LockRank::kServeQueue: return "kServeQueue";
+    case LockRank::kPrefetchSlot: return "kPrefetchSlot";
+    case LockRank::kThreadPool: return "kThreadPool";
+    case LockRank::kParallelJob: return "kParallelJob";
+    case LockRank::kTelemetry: return "kTelemetry";
+    case LockRank::kBufferPool: return "kBufferPool";
+    case LockRank::kBackendResolve: return "kBackendResolve";
+    case LockRank::kLogSink: return "kLogSink";
+  }
+  return "?";
+}
+
+#if ZKG_CHECKED_ENABLED
+
+namespace lockrank_detail {
+namespace {
+
+// Held-rank stack, one per thread. Deliberately trivially destructible (no
+// std::vector): static-duration mutexes (ThreadPool::shared(), the global
+// BufferPool) still lock during static destruction, after non-trivial
+// thread_local objects on the main thread have already been destroyed.
+constexpr int kMaxHeld = 16;
+
+struct HeldStack {
+  LockRank ranks[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+void print_chain(const HeldStack& held) {
+  for (int i = 0; i < held.depth; ++i) {
+    std::fprintf(stderr, "  held[%d]: %-16s (rank %d)\n", i,
+                 lock_rank_name(held.ranks[i]),
+                 static_cast<int>(held.ranks[i]));
+  }
+}
+
+}  // namespace
+
+void check_acquire(LockRank rank) {
+  const HeldStack& held = t_held;
+  for (int i = 0; i < held.depth; ++i) {
+    if (static_cast<int>(held.ranks[i]) < static_cast<int>(rank)) continue;
+    // Diagnostic, then die: this is a deterministic ordering bug, and
+    // unwinding past it (half-held locks, condvars mid-wait) would only
+    // smear the evidence. The checked build exists to fail exactly here.
+    std::fprintf(stderr,
+                 "zkg lockrank: LOCK-ORDER INVERSION on this thread\n"
+                 "  acquiring: %-16s (rank %d)\n"
+                 "  while already holding, outermost first:\n",
+                 lock_rank_name(rank), static_cast<int>(rank));
+    print_chain(held);
+    std::fprintf(stderr,
+                 "  rule: a mutex may only be acquired while every held "
+                 "rank is strictly lower\n"
+                 "  fix: acquire in rank order, or release %s first (see "
+                 "src/common/lockrank.hpp for the order)\n",
+                 lock_rank_name(held.ranks[held.depth - 1]));
+    // zkg-lint: allow(exit-in-library) reason: lock-order inversions must
+    // not unwind — throwing from lock() would release-skip held mutexes and
+    // deadlock or corrupt the very state being diagnosed.
+    std::abort();
+  }
+}
+
+void note_acquired(LockRank rank) {
+  HeldStack& held = t_held;
+  if (held.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "zkg lockrank: held-lock stack overflow (%d locks on one "
+                 "thread) — raise kMaxHeld if this nesting is intended\n",
+                 held.depth);
+    print_chain(held);
+    // zkg-lint: allow(exit-in-library) reason: bookkeeping overflow means
+    // the rank stack is no longer trustworthy; aborting preserves the
+    // evidence the checked build exists to produce.
+    std::abort();
+  }
+  held.ranks[held.depth++] = rank;
+}
+
+void note_released(LockRank rank) {
+  HeldStack& held = t_held;
+  // Innermost matching rank: guards release in LIFO order, but unique_lock
+  // allows early unlock() of an outer lock, so search from the top.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.ranks[i] != rank) continue;
+    for (int j = i; j + 1 < held.depth; ++j) held.ranks[j] = held.ranks[j + 1];
+    --held.depth;
+    return;
+  }
+  std::fprintf(stderr,
+               "zkg lockrank: released %s (rank %d) which this thread does "
+               "not hold\n",
+               lock_rank_name(rank), static_cast<int>(rank));
+  print_chain(held);
+  // zkg-lint: allow(exit-in-library) reason: an unbalanced unlock means
+  // ownership tracking has diverged from reality; continuing would turn
+  // every later report into noise.
+  std::abort();
+}
+
+int held_depth() { return t_held.depth; }
+
+}  // namespace lockrank_detail
+
+#endif  // ZKG_CHECKED_ENABLED
+
+}  // namespace zkg::debug

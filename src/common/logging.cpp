@@ -4,11 +4,13 @@
 #include <iostream>
 #include <mutex>
 
+#include "common/lockrank.hpp"
+
 namespace zkg::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kInfo};
-std::mutex g_sink_mutex;
+debug::Mutex<debug::LockRank::kLogSink> g_sink_mutex;
 std::ostream* g_sink = nullptr;  // nullptr means std::cerr
 
 const char* level_name(Level level) {
@@ -29,13 +31,13 @@ void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_sink(std::ostream* sink) {
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  const std::lock_guard lock(g_sink_mutex);
   g_sink = sink;
 }
 
 void write(Level message_level, const std::string& message) {
   if (static_cast<int>(message_level) < static_cast<int>(level())) return;
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  const std::lock_guard lock(g_sink_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
   out << "[" << level_name(message_level) << "] " << message << "\n";
 }

@@ -5,6 +5,8 @@
 #include <exception>
 #include <mutex>
 
+#include "common/lockrank.hpp"
+
 #include "common/env.hpp"
 #include "common/threadpool.hpp"
 #include "obs/telemetry.hpp"
@@ -93,7 +95,7 @@ void parallel_for(std::int64_t count, std::int64_t grain,
   }
   std::exception_ptr first_error;
   std::atomic<bool> failed{false};
-  std::mutex mu;
+  debug::Mutex<debug::LockRank::kParallelJob> mu;
 #pragma omp parallel for schedule(static) \
     num_threads(static_cast<int>(num_chunks))
   for (std::int64_t c = 0; c < num_chunks; ++c) {
@@ -104,7 +106,7 @@ void parallel_for(std::int64_t count, std::int64_t grain,
       body(begin, end);
     } catch (...) {
       failed.store(true, std::memory_order_release);
-      const std::lock_guard<std::mutex> lock(mu);
+      const std::lock_guard lock(mu);
       if (!first_error) first_error = std::current_exception();
     }
   }

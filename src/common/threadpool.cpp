@@ -21,8 +21,8 @@ struct ThreadPool::ParallelJob {
   std::atomic<std::int64_t> next_chunk{0};
   std::atomic<bool> failed{false};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
+  debug::Mutex<debug::LockRank::kParallelJob> mu;
+  debug::CondVar done_cv;
   std::int64_t chunks_done = 0;       // guarded by mu
   std::exception_ptr first_error;     // guarded by mu
 };
@@ -37,7 +37,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -55,7 +55,7 @@ unsigned ThreadPool::default_thread_count() {
 void ThreadPool::submit(std::function<void()> task) {
   ZKG_CHECK(task != nullptr);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard lock(mutex_);
     ZKG_CHECK(!stopping_) << " (pool is shutting down)";
     tasks_.push(std::move(task));
     ++in_flight_;
@@ -64,7 +64,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
   if (first_task_error_) {
     std::exception_ptr error = std::exchange(first_task_error_, nullptr);
@@ -77,7 +77,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
@@ -90,7 +90,7 @@ void ThreadPool::worker_loop() {
       error = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const std::lock_guard lock(mutex_);
       if (error && !first_task_error_) first_task_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
@@ -111,12 +111,12 @@ void ThreadPool::run_chunks(ParallelJob& job) {
         (*job.body)(begin, end);
       } catch (...) {
         job.failed.store(true, std::memory_order_release);
-        const std::lock_guard<std::mutex> lock(job.mu);
+        const std::lock_guard lock(job.mu);
         if (!job.first_error) job.first_error = std::current_exception();
       }
     }
     {
-      const std::lock_guard<std::mutex> lock(job.mu);
+      const std::lock_guard lock(job.mu);
       if (++job.chunks_done == job.num_chunks) job.done_cv.notify_all();
     }
   }
@@ -159,7 +159,7 @@ void ThreadPool::parallel_for(
   }
   run_chunks(*job);
 
-  std::unique_lock<std::mutex> lock(job->mu);
+  std::unique_lock lock(job->mu);
   job->done_cv.wait(lock,
                     [&job] { return job->chunks_done == job->num_chunks; });
   if (job->first_error) {

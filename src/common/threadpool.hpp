@@ -15,7 +15,6 @@
 //    the next wait_idle().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -23,6 +22,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/lockrank.hpp"
 
 namespace zkg {
 
@@ -78,9 +79,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
+  debug::Mutex<debug::LockRank::kThreadPool> mutex_;
+  debug::CondVar task_ready_;
+  debug::CondVar all_done_;
   std::int64_t in_flight_ = 0;
   std::exception_ptr first_task_error_;  // from submit()ed tasks
   bool stopping_ = false;

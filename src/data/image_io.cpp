@@ -49,7 +49,7 @@ void write_netpbm(std::ostream& out, const Tensor& image) {
 
 void save_netpbm(const std::string& path, const Tensor& image) {
   // Debug/visualisation output; a torn write costs one image, not state.
-  std::ofstream out(path, std::ios::binary);  // zkg-lint: allow(atomic-write)
+  std::ofstream out(path, std::ios::binary);  // zkg-lint: allow(atomic-write) reason: debug image output; a torn write costs one image, not state
   if (!out) throw SerializationError("cannot open " + path + " for writing");
   write_netpbm(out, image);
 }

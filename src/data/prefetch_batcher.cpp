@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.hpp"
 #include "obs/telemetry.hpp"
 
 namespace zkg::data {
@@ -17,16 +18,29 @@ PrefetchBatcher::PrefetchBatcher(const Dataset& dataset,
   submit_fill();
 }
 
-PrefetchBatcher::~PrefetchBatcher() { drain(); }
+PrefetchBatcher::~PrefetchBatcher() {
+  // Destructors are implicitly noexcept; drain()'s condvar wait can in
+  // principle throw std::system_error, which would terminate the process
+  // mid-teardown. Log and swallow — the producer's own error (if any) is
+  // already captured in slot_error_ and dies with the slot.
+  try {
+    drain();
+  } catch (const std::exception& error) {
+    log::error() << "data: exception draining prefetch at destruction: "
+                 << error.what();
+  } catch (...) {
+    log::error() << "data: unknown exception draining prefetch";
+  }
+}
 
 void PrefetchBatcher::drain() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   ready_cv_.wait(lock, [this] { return slot_state_ != SlotState::kFilling; });
 }
 
 void PrefetchBatcher::submit_fill() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     slot_state_ = SlotState::kFilling;
     slot_end_ = false;
     slot_error_ = nullptr;
@@ -47,7 +61,7 @@ void PrefetchBatcher::fill() {
     error = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     slot_end_ = end;
     slot_error_ = error;
     slot_state_ = SlotState::kReady;
@@ -61,7 +75,7 @@ void PrefetchBatcher::fill() {
 void PrefetchBatcher::start_epoch() {
   drain();  // join the producer before touching inner_
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     slot_state_ = SlotState::kIdle;  // discard any read-ahead batch
   }
   inner_.start_epoch();
@@ -74,7 +88,7 @@ void PrefetchBatcher::start_epoch() {
 bool PrefetchBatcher::next_into(Batch& out) {
   if (epoch_done_) return false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock lock(mutex_);
     if (slot_state_ == SlotState::kIdle) {
       // Only reachable after a fill() error was rethrown: re-prime.
       lock.unlock();
@@ -132,7 +146,7 @@ BatcherState PrefetchBatcher::state() const {
 void PrefetchBatcher::load_state(const BatcherState& state) {
   drain();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     slot_state_ = SlotState::kIdle;  // discard stale read-ahead
   }
   inner_.load_state(state);  // validates permutation/cursor, may throw

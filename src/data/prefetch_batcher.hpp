@@ -22,6 +22,7 @@
 //    internal and joined before any state the consumer touches is mutated.
 #pragma once
 
+#include "common/lockrank.hpp"
 #include "common/threadpool.hpp"
 #include "data/batcher.hpp"
 
@@ -69,8 +70,8 @@ class PrefetchBatcher : public BatchSource {
   // The handoff slot. `batch`/`end`/`error` are written by the producer
   // while `state == kFilling` and read by the consumer once `kReady`; the
   // mutex acquire/release on the state transition publishes the payload.
-  mutable std::mutex mutex_;
-  mutable std::condition_variable ready_cv_;
+  mutable debug::Mutex<debug::LockRank::kPrefetchSlot> mutex_;
+  mutable debug::CondVar ready_cv_;
   Batch slot_;
   bool slot_end_ = false;
   std::exception_ptr slot_error_;

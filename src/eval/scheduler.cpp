@@ -91,7 +91,7 @@ void run_cell(const SweepCell& cell, const PreparedData& data,
   trainer->add_observer(&telemetry_observer);
   // Append-only telemetry stream, not recoverable state; crash-safety via
   // atomic_write_file would buffer the whole run in memory for no benefit.
-  std::ofstream train_jsonl;  // zkg-lint: allow(atomic-write)
+  std::ofstream train_jsonl;  // zkg-lint: allow(atomic-write) reason: append-only telemetry stream, not recoverable state
   std::unique_ptr<defense::JsonlTrainObserver> recorder;
   if (!options.telemetry_dir.empty()) {
     train_jsonl.open(options.telemetry_dir + "/" + out.name + ".train.jsonl",
@@ -127,7 +127,7 @@ void run_cell(const SweepCell& cell, const PreparedData& data,
   if (options.keep_params) out.final_params = model.net().state();
 
   if (!options.telemetry_dir.empty()) {
-    std::ofstream obs_jsonl(  // zkg-lint: allow(atomic-write)
+    std::ofstream obs_jsonl(  // zkg-lint: allow(atomic-write) reason: telemetry snapshot, not recoverable state
         options.telemetry_dir + "/" + out.name + ".obs.jsonl",
         std::ios::trunc);
     if (obs_jsonl.is_open()) obs::write_jsonl(obs_jsonl, telemetry);

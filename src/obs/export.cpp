@@ -122,7 +122,7 @@ bool flush(Telemetry& telemetry) {
   const std::string path = telemetry.trace_path();
   if (path.empty()) return false;
   // Telemetry export; a torn write costs one trace, not training state.
-  std::ofstream out(path, std::ios::trunc);  // zkg-lint: allow(atomic-write)
+  std::ofstream out(path, std::ios::trunc);  // zkg-lint: allow(atomic-write) reason: trace export; a torn write costs one trace, not state
   if (!out) throw Error("obs: cannot open trace file " + path);
   write_jsonl(out, telemetry);
   return true;

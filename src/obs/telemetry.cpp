@@ -49,7 +49,7 @@ Telemetry& Telemetry::global() {
   static Telemetry* telemetry = [] {
     // Leaked on purpose: counter sites hold references across static
     // destruction order, and the atexit flush must outlive everything.
-    auto* instance = new Telemetry();  // zkg-lint: allow(naked-allocation)
+    auto* instance = new Telemetry();  // zkg-lint: allow(naked-allocation) reason: leaked singleton; must outlive static destruction
     instance->configure_from_env();
     return instance;
   }();
@@ -76,32 +76,32 @@ void Telemetry::configure_from_env() {
 }
 
 std::string Telemetry::trace_path() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return trace_path_;
 }
 
 void Telemetry::set_trace_path(std::string path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   trace_path_ = std::move(path);
 }
 
 Counter& Telemetry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return counters_[name];
 }
 
 Gauge& Telemetry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return gauges_[name];
 }
 
 Histogram& Telemetry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return histograms_[name];
 }
 
 void Telemetry::add_gauge_provider(std::function<void(Telemetry&)> provider) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   providers_.push_back(std::move(provider));
 }
 
@@ -109,30 +109,30 @@ void Telemetry::run_gauge_providers() {
   // Copy under the lock, run outside it: providers call gauge() themselves.
   std::vector<std::function<void(Telemetry&)>> providers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     providers = providers_;
   }
   for (const auto& provider : providers) provider(*this);
 }
 
 void Telemetry::record_span(const SpanRecord& record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   spans_.push_back(record);
 }
 
 std::vector<SpanRecord> Telemetry::spans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return spans_;
 }
 
 std::size_t Telemetry::span_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return spans_.size();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Telemetry::counter_values()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -142,7 +142,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Telemetry::counter_values()
 }
 
 std::vector<std::pair<std::string, double>> Telemetry::gauge_values() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -153,7 +153,7 @@ std::vector<std::pair<std::string, double>> Telemetry::gauge_values() const {
 
 std::vector<Telemetry::HistogramSnapshot> Telemetry::histogram_values()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   std::vector<HistogramSnapshot> out;
   out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -171,7 +171,7 @@ std::vector<Telemetry::HistogramSnapshot> Telemetry::histogram_values()
 }
 
 void Telemetry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   spans_.clear();
   for (auto& [name, counter] : counters_) counter.reset();
   for (auto& [name, gauge] : gauges_) gauge.reset();

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/lockrank.hpp"
 #include "common/stopwatch.hpp"
 #include "obs/histogram.hpp"
 
@@ -152,7 +153,7 @@ class Telemetry {
   double now_seconds() const { return epoch_.seconds(); }
 
  private:
-  mutable std::mutex mutex_;
+  mutable debug::Mutex<debug::LockRank::kTelemetry> mutex_;
   std::vector<SpanRecord> spans_;
   std::map<std::string, Counter> counters_;  // node-based: stable addresses
   std::map<std::string, Gauge> gauges_;

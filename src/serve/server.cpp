@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "obs/telemetry.hpp"
 #include "tensor/pool.hpp"
 
@@ -32,7 +33,20 @@ InferenceServer::InferenceServer(models::Classifier& model, ServeConfig config,
   engine_.submit([this] { engine_loop(); });
 }
 
-InferenceServer::~InferenceServer() { stop(); }
+InferenceServer::~InferenceServer() {
+  // Destructors are implicitly noexcept; letting a failed drain escape
+  // (engine_.wait_idle rethrows a crashed engine task) would terminate the
+  // process during ordinary teardown. Log and swallow instead — the engine
+  // error already surfaced to the requests it failed.
+  try {
+    stop();
+  } catch (const std::exception& error) {
+    log::error() << "serve: exception during shutdown drain: "
+                 << error.what();
+  } catch (...) {
+    log::error() << "serve: unknown exception during shutdown drain";
+  }
+}
 
 std::future<Prediction> InferenceServer::submit(const Tensor& image) {
   const models::InputSpec& spec = model_.spec();
@@ -50,7 +64,7 @@ std::future<Prediction> InferenceServer::submit(const Tensor& image) {
   request.image = image;  // copied: the caller may reuse its tensor
   std::future<Prediction> future = request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     if (stopping_) {
       throw ShutDown("serve: submit after stop(); the server is draining");
     }
@@ -89,7 +103,7 @@ std::future<Prediction> InferenceServer::submit(const Tensor& image) {
 
 void InferenceServer::engine_loop() {
   std::vector<Request> taken;
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock lock(mutex_);
   for (;;) {
     cv_.wait(lock, [this] {
       return stopping_ || (!queue_.empty() && !paused_);
@@ -160,7 +174,7 @@ void InferenceServer::run_batch(std::vector<Request>& taken, FlushKind kind) {
   // estimated-wait admission check is never one batch stale.
   const double batch_seconds = batch_watch.seconds();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     ++batches_;
     completed_ += taken.size();
     batch_seconds_sum_ += batch_seconds;
@@ -201,7 +215,7 @@ void InferenceServer::run_batch(std::vector<Request>& taken, FlushKind kind) {
 
 void InferenceServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -209,13 +223,13 @@ void InferenceServer::stop() {
 }
 
 void InferenceServer::pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   paused_ = true;
 }
 
 void InferenceServer::resume() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     paused_ = false;
   }
   cv_.notify_all();
@@ -224,7 +238,7 @@ void InferenceServer::resume() {
 ServerStats InferenceServer::stats() const {
   ServerStats stats;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stats.accepted = accepted_;
     stats.rejected = rejected_;
     stats.completed = completed_;

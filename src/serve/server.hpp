@@ -36,7 +36,6 @@
 // engine. The destructor calls stop().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -45,6 +44,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/lockrank.hpp"
 #include "common/stopwatch.hpp"
 #include "common/threadpool.hpp"
 #include "models/session.hpp"
@@ -172,8 +172,8 @@ class InferenceServer {
   ServeConfig config_;
   models::InferenceSession session_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable debug::Mutex<debug::LockRank::kServeQueue> mutex_;
+  debug::CondVar cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
   bool paused_ = false;

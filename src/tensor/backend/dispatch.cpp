@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "common/env.hpp"
+#include "common/lockrank.hpp"
 #include "common/error.hpp"
 #include "tensor/backend/backend.hpp"
 
@@ -40,8 +41,8 @@ const KernelBackend& active() {
   if (backend == nullptr) {
     // First call in the process: resolve once under a lock so concurrent
     // first calls agree, then publish.
-    static std::mutex resolve_mutex;
-    std::lock_guard<std::mutex> lock(resolve_mutex);
+    static debug::Mutex<debug::LockRank::kBackendResolve> resolve_mutex;
+    const std::lock_guard lock(resolve_mutex);
     backend = g_active.load(std::memory_order_acquire);
     if (backend == nullptr) {
       backend = &resolve_from_env();

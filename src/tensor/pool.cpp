@@ -61,7 +61,7 @@ FloatBuffer BufferPool::acquire(std::size_t numel) {
   FloatBuffer buffer;
   bool recycled = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     auto it = free_.find(bucket);
     if (it != free_.end() && !it->second.empty()) {
       buffer = std::move(it->second.back());
@@ -108,7 +108,7 @@ void BufferPool::release(FloatBuffer&& buffer) {
     buffer.resize(capacity);
     std::fill(buffer.begin(), buffer.end(), poison_value());
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   if (ZKG_CHECKED_ENABLED) {
     ZKG_REQUIRE(released_.insert(buffer.data()).second)
         << " BufferPool: buffer released to the pool twice (double-release "
@@ -120,12 +120,12 @@ void BufferPool::release(FloatBuffer&& buffer) {
 }
 
 PoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   return stats_;
 }
 
 void BufferPool::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   const std::uint64_t free_buffers = stats_.free_buffers;
   const std::uint64_t free_bytes = stats_.free_bytes;
   stats_ = PoolStats{};
@@ -134,7 +134,7 @@ void BufferPool::reset_stats() {
 }
 
 void BufferPool::trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   free_.clear();
   released_.clear();  // the tracked pointers die with their buffers
   stats_.free_buffers = 0;

@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/lockrank.hpp"
 #include "tensor/tensor.hpp"
 
 namespace zkg {
@@ -95,7 +96,7 @@ class BufferPool {
   static bool is_poison(float value);
 
  private:
-  mutable std::mutex mutex_;
+  mutable debug::Mutex<debug::LockRank::kBufferPool> mutex_;
   // bucket capacity -> free buffers of at least that capacity
   std::unordered_map<std::size_t, std::vector<FloatBuffer>> free_;
   // ZKG_CHECKED only: data pointers currently on the free list, to diagnose

@@ -1,0 +1,46 @@
+// Child process for test_pipeline_exit: exits main() with a static-duration
+// PrefetchBatcher still holding read-ahead in flight on ThreadPool::shared().
+//
+// The ordering under test: the batcher's constructor touches the shared pool
+// (a function-local static), so the pool finishes construction before the
+// batcher does and is therefore destroyed AFTER it — ~PrefetchBatcher can
+// still drain its in-flight fill during static destruction. A regression
+// that flips this (e.g. lazily resolving the pool only at first fill, or
+// making the pool a plain global in another TU) turns clean exit into a
+// use-after-destroy or a hang, which the parent test detects via exit
+// status and a watchdog timeout.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/prefetch_batcher.hpp"
+
+namespace {
+
+// Static storage on purpose: destruction happens after main() returns,
+// interleaved with every other static destructor — including the pool's.
+// Function-local statics (not namespace-scope globals) so construction
+// does not race the glyph tables' own dynamic initialisation in another TU.
+zkg::data::PrefetchBatcher& static_batcher() {
+  static zkg::Rng rng(123);
+  static const zkg::data::Dataset data =
+      zkg::data::make_synth_digits(64, rng);
+  static zkg::data::PrefetchBatcher batcher(data, 16, rng);
+  return batcher;
+}
+
+}  // namespace
+
+int main() {
+  zkg::data::PrefetchBatcher& g_batcher = static_batcher();
+  g_batcher.start_epoch();
+  zkg::data::Batch batch;
+  if (!g_batcher.next_into(batch)) {
+    std::fprintf(stderr, "pipeline_exit_child: epoch unexpectedly empty\n");
+    return 2;
+  }
+  // next_into resubmits the returned buffer for the NEXT batch, so a fill
+  // is (very likely) in flight right now; return without draining it.
+  std::printf("pipeline_exit_child: exiting with read-ahead in flight\n");
+  return 0;
+}

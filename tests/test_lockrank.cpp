@@ -1,0 +1,143 @@
+// LockRank (DESIGN.md §15): release builds must compile the ranked types
+// away entirely; checked builds must track held ranks exactly and abort —
+// with both rank chains — the moment two mutexes are acquired against the
+// global order on one thread.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+#include "common/lockrank.hpp"
+
+namespace zkg::debug {
+namespace {
+
+#if !ZKG_CHECKED_ENABLED
+
+// Release builds: the acceptance bar is ZERO overhead, and "zero" here is
+// not a benchmark claim but a type identity — callers get the exact std
+// types they used before LockRank existed, so codegen cannot differ.
+static_assert(std::is_same_v<Mutex<LockRank::kServeQueue>, std::mutex>);
+static_assert(std::is_same_v<Mutex<LockRank::kBufferPool>, std::mutex>);
+static_assert(std::is_same_v<CondVar, std::condition_variable>);
+
+TEST(LockRank, ReleaseAliasesAreStdTypes) {
+  // The static_asserts above are the test; this keeps the binary non-empty
+  // and proves the aliases still satisfy BasicLockable end to end.
+  Mutex<LockRank::kTelemetry> mutex;
+  const std::lock_guard lock(mutex);
+  SUCCEED();
+}
+
+#else  // ZKG_CHECKED_ENABLED
+
+TEST(LockRank, InOrderNestingIsAllowed) {
+  Mutex<LockRank::kServeQueue> outer;
+  Mutex<LockRank::kTelemetry> inner;
+  EXPECT_EQ(lockrank_detail::held_depth(), 0);
+  {
+    const std::lock_guard outer_lock(outer);
+    EXPECT_EQ(lockrank_detail::held_depth(), 1);
+    const std::lock_guard inner_lock(inner);
+    EXPECT_EQ(lockrank_detail::held_depth(), 2);
+  }
+  EXPECT_EQ(lockrank_detail::held_depth(), 0);
+}
+
+TEST(LockRank, EarlyUnlockReleasesTheOuterRank) {
+  Mutex<LockRank::kPrefetchSlot> outer;
+  Mutex<LockRank::kThreadPool> inner;
+  std::unique_lock outer_lock(outer);
+  const std::lock_guard inner_lock(inner);
+  // unique_lock permits unlocking the OUTER mutex while the inner stays
+  // held; the rank stack must drop the right entry, not the top one.
+  outer_lock.unlock();
+  EXPECT_EQ(lockrank_detail::held_depth(), 1);
+  // With kPrefetchSlot released, re-acquiring a rank below the held
+  // kThreadPool must now be the inversion (checked in the death test);
+  // re-acquiring a HIGHER rank is fine.
+  Mutex<LockRank::kLogSink> leaf;
+  const std::lock_guard leaf_lock(leaf);
+  EXPECT_EQ(lockrank_detail::held_depth(), 2);
+}
+
+TEST(LockRank, CondVarWaitReleasesTheRankForTheDuration) {
+  Mutex<LockRank::kPrefetchSlot> mutex;
+  CondVar cv;
+  bool ready = false;
+  int depth_inside_predicate = -1;
+  std::unique_lock lock(mutex);
+  // std::condition_variable_any waits through the ranked lock()/unlock(),
+  // so each predicate evaluation runs with the rank re-held — and between
+  // evaluations the rank is genuinely released, which is what lets the
+  // notifier below acquire the same mutex without tripping the check.
+  std::thread notifier([&] {
+    const std::lock_guard notifier_lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+  cv.wait(lock, [&] {
+    depth_inside_predicate = lockrank_detail::held_depth();
+    return ready;
+  });
+  notifier.join();
+  EXPECT_EQ(depth_inside_predicate, 1);
+  EXPECT_EQ(lockrank_detail::held_depth(), 1);
+}
+
+TEST(LockRank, TryLockTracksRanks) {
+  Mutex<LockRank::kTelemetry> mutex;
+  ASSERT_TRUE(mutex.try_lock());
+  EXPECT_EQ(lockrank_detail::held_depth(), 1);
+  mutex.unlock();
+  EXPECT_EQ(lockrank_detail::held_depth(), 0);
+}
+
+TEST(LockRank, NamesCoverEveryRank) {
+  for (LockRank rank :
+       {LockRank::kServeQueue, LockRank::kPrefetchSlot, LockRank::kThreadPool,
+        LockRank::kParallelJob, LockRank::kTelemetry, LockRank::kBufferPool,
+        LockRank::kBackendResolve, LockRank::kLogSink}) {
+    EXPECT_STRNE(lock_rank_name(rank), "?");
+  }
+}
+
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, InversionAbortsWithBothRankChains) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex<LockRank::kTelemetry> inner;
+  Mutex<LockRank::kServeQueue> outer;
+  const std::lock_guard inner_lock(inner);
+  // kTelemetry (50) is held; acquiring kServeQueue (10) inverts the global
+  // order. The diagnostic must name BOTH ranks so the fix is mechanical.
+  EXPECT_DEATH(
+      { const std::lock_guard outer_lock(outer); },
+      "LOCK-ORDER INVERSION(.|\n)*acquiring: kServeQueue"
+      "(.|\n)*held\\[0\\]: kTelemetry");
+}
+
+TEST(LockRankDeathTest, EqualRankReacquireIsAnInversion) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two DIFFERENT mutexes of the same rank: still rejected, because two
+  // threads nesting them in opposite orders would deadlock — "strictly
+  // greater" is the rule, not "greater or equal".
+  Mutex<LockRank::kBufferPool> first;
+  Mutex<LockRank::kBufferPool> second;
+  const std::lock_guard first_lock(first);
+  EXPECT_DEATH({ const std::lock_guard second_lock(second); },
+               "LOCK-ORDER INVERSION(.|\n)*acquiring: kBufferPool");
+}
+
+TEST(LockRankDeathTest, UnbalancedReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex<LockRank::kLogSink> mutex;
+  EXPECT_DEATH(mutex.unlock(), "released kLogSink.*does not hold");
+}
+
+#endif  // ZKG_CHECKED_ENABLED
+
+}  // namespace
+}  // namespace zkg::debug

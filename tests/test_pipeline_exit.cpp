@@ -1,0 +1,34 @@
+// Static-destruction ordering regression test (DESIGN.md §12/§15): a
+// process that leaves a PrefetchBatcher with read-ahead in flight at exit
+// must shut down cleanly — ~PrefetchBatcher drains on ThreadPool::shared(),
+// which must still be alive at that point. The child binary path arrives
+// via the ZKG_PIPELINE_EXIT_CHILD compile definition; `timeout` turns the
+// failure mode that matters here (a drain that never completes because the
+// pool died first) into a visible non-zero status instead of a hung CI job.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace zkg {
+namespace {
+
+TEST(PipelineExit, BatcherWithInflightReadaheadExitsCleanly) {
+  const std::string command =
+      "timeout 60 " ZKG_PIPELINE_EXIT_CHILD " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  ASSERT_NE(status, -1);
+  ASSERT_TRUE(WIFEXITED(status))
+      << "child died of a signal during static destruction, status="
+      << status;
+  // 124 is timeout(1)'s exit code: the drain hung in a static destructor.
+  ASSERT_NE(WEXITSTATUS(status), 124)
+      << "child hung at exit; ~PrefetchBatcher could not drain on the "
+         "shared pool";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace zkg

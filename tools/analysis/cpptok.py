@@ -1,0 +1,215 @@
+"""Comment-, string- and raw-string-aware C++ tokenizer.
+
+The single lexing pass shared by every analysis pass (tools/analysis).
+It is not a full C++ lexer — it is exactly the subset the passes need,
+implemented so the classic regex-linter failure modes are impossible:
+
+  * string/char literals (including R"delim(...)delim" raw strings and
+    encoding prefixes) become single `str` tokens — their CONTENT is never
+    matched by any rule;
+  * // and /* */ comments become `comment` tokens (kept, because waivers
+    live in comments), multi-line comments included;
+  * preprocessor directives (with backslash continuations folded) become
+    single `pp` tokens carrying the full directive text;
+  * everything else is `id` / `num` / `punct` tokens with exact line/column
+    positions, so multi-line constructs ("std ::\n thread") tokenize the
+    same as single-line ones.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+ID_CONT = ID_START | set("0123456789")
+DIGITS = set("0123456789")
+
+# Multi-char operators the passes care about; longest match first.
+MULTI_PUNCT = ("->*", "...", "::", "->", "<<=", ">>=", "==", "!=", "<=",
+               ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "++",
+               "--")
+
+STRING_PREFIX = re.compile(r'(?:u8|u|U|L)?R?$')
+
+
+@dataclass
+class Tok:
+    kind: str  # id | num | str | char | comment | pp | punct
+    text: str
+    line: int  # 1-based line of the token's first character
+    col: int   # 1-based column
+
+
+class TokenError(Exception):
+    """Unterminated construct; carries the line it started on."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(message)
+        self.line = line
+
+
+def tokenize(text: str) -> list[Tok]:
+    toks: list[Tok] = []
+    i = 0
+    n = len(text)
+    line = 1
+    bol = 0  # offset of the current line's first character
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def col(pos: int) -> int:
+        return pos - bol + 1
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            bol = i
+            at_line_start = True
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+
+        start, start_line, start_col = i, line, col(i)
+
+        # ---- preprocessor directive: swallow to end of line, folding
+        # backslash continuations; comments inside are left verbatim (the
+        # passes only substring-match directive text).
+        if ch == "#" and at_line_start:
+            j = i
+            while j < n:
+                if text[j] == "\n":
+                    if j > 0 and text[j - 1] == "\\":
+                        line += 1
+                        j += 1
+                        continue
+                    break
+                j += 1
+            toks.append(Tok("pp", text[i:j], start_line, start_col))
+            i = j
+            continue
+
+        at_line_start = False
+
+        # ---- comments
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            toks.append(Tok("comment", text[i:j], start_line, start_col))
+            i = j
+            continue
+        if ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                raise TokenError("unterminated /* comment", start_line)
+            body = text[i:j + 2]
+            toks.append(Tok("comment", body, start_line, start_col))
+            line += body.count("\n")
+            i = j + 2
+            bol = text.rfind("\n", 0, i) + 1
+            continue
+
+        # ---- identifiers (may be a string prefix: u8R"(...)" etc.)
+        if ch in ID_START:
+            j = i + 1
+            while j < n and text[j] in ID_CONT:
+                j += 1
+            word = text[i:j]
+            quote = text[j] if j < n else ""
+            if quote in "\"'" and STRING_PREFIX.fullmatch(word):
+                i = j  # fall through to the literal scanner below
+                ch = quote
+                raw = word.endswith("R")
+                kind = "str" if quote == '"' else "char"
+                i, line, bol = _scan_literal(text, i, line, bol, raw)
+                toks.append(Tok(kind, text[start:i], start_line, start_col))
+                continue
+            toks.append(Tok("id", word, start_line, start_col))
+            i = j
+            continue
+
+        # ---- plain string/char literals
+        if ch == '"' or ch == "'":
+            kind = "str" if ch == '"' else "char"
+            i, line, bol = _scan_literal(text, i, line, bol, raw=False)
+            toks.append(Tok(kind, text[start:i], start_line, start_col))
+            continue
+
+        # ---- numbers (pp-number: digits, idents, quotes-as-separators,
+        # exponent signs — close enough for analysis purposes)
+        if ch in DIGITS or (ch == "." and nxt in DIGITS):
+            j = i + 1
+            while j < n:
+                c = text[j]
+                if c in ID_CONT or c == "." or c == "'":
+                    j += 1
+                elif c in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                else:
+                    break
+            toks.append(Tok("num", text[i:j], start_line, start_col))
+            i = j
+            continue
+
+        # ---- punctuation
+        for op in MULTI_PUNCT:
+            if text.startswith(op, i):
+                toks.append(Tok("punct", op, start_line, start_col))
+                i += len(op)
+                break
+        else:
+            toks.append(Tok("punct", ch, start_line, start_col))
+            i += 1
+
+    return toks
+
+
+def _scan_literal(text: str, i: int, line: int, bol: int,
+                  raw: bool) -> tuple[int, int, int]:
+    """Scans a string/char literal starting at the opening quote at `i`.
+
+    Returns (end index past the closing quote, line, bol).
+    """
+    n = len(text)
+    quote = text[i]
+    start_line = line
+    if raw and quote == '"':
+        # R"delim( ... )delim"
+        j = text.find("(", i + 1)
+        if j == -1 or j - i - 1 > 16:
+            raise TokenError("malformed raw string delimiter", start_line)
+        delim = text[i + 1:j]
+        closer = ")" + delim + '"'
+        k = text.find(closer, j + 1)
+        if k == -1:
+            raise TokenError("unterminated raw string", start_line)
+        end = k + len(closer)
+        line += text.count("\n", i, end)
+        if "\n" in text[i:end]:
+            bol = text.rfind("\n", 0, end) + 1
+        return end, line, bol
+    j = i + 1
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote:
+            return j + 1, line, bol
+        if c == "\n":
+            # Unterminated at end of line: tolerate (e.g. an apostrophe in
+            # a #error directive we mis-entered) by closing the literal.
+            return j, line, bol
+        j += 1
+    return n, line, bol
+
+
+def iter_code(toks: list[Tok]):
+    """Tokens with comments stripped (pp/str/char kept — rules decide)."""
+    for t in toks:
+        if t.kind != "comment":
+            yield t

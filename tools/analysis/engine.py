@@ -1,0 +1,158 @@
+"""Engine core: file loading, waiver bookkeeping, pass orchestration."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import cpptok
+
+# A waiver is a comment:   // zkg-lint: allow(rule) reason: why it is safe
+# On a line with code it waives that line; on its own line it waives the
+# next line carrying code (so multi-line reasons can continue in following
+# comment lines). The reason clause is mandatory: the engine reports
+# waiver-missing-reason for bare allow()s and stale-waiver for waivers that
+# no longer suppress anything, so the waiver set can only ratchet down.
+WAIVER_RE = re.compile(
+    r"zkg-lint:\s*allow\(([a-z0-9-]+)\)(?:\s+reason:\s*(\S.*?))?\s*(?:\*/)?$"
+)
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Waiver:
+    rule: str
+    line: int          # line the waiver comment starts on
+    applies_to: int    # line whose findings it suppresses
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    path: Path
+    rel: str
+    text: str
+    toks: list[cpptok.Tok]
+    code: list[cpptok.Tok] = field(default_factory=list)  # comments stripped
+    waivers: list[Waiver] = field(default_factory=list)
+
+    def waiver_for(self, rule: str, line: int) -> Waiver | None:
+        for waiver in self.waivers:
+            if waiver.rule == rule and waiver.applies_to == line:
+                return waiver
+        return None
+
+
+def _bind_waivers(toks: list[cpptok.Tok]) -> list[Waiver]:
+    """Extracts waivers from comment tokens and binds each to a code line."""
+    code_lines = sorted({t.line for t in toks if t.kind != "comment"})
+    comment_lines = {t.line for t in toks if t.kind == "comment"}
+    waivers = []
+    for tok in toks:
+        if tok.kind != "comment":
+            continue
+        match = WAIVER_RE.search(tok.text.splitlines()[0])
+        if match is None:
+            continue
+        rule, reason = match.group(1), (match.group(2) or "").strip()
+        if any(t.line == tok.line and t.kind != "comment" for t in toks):
+            applies = tok.line  # trailing comment: waives its own line
+        else:
+            # Standalone comment: waives the next line that carries code,
+            # skipping over continuation comment lines.
+            applies = tok.line
+            for line in code_lines:
+                if line > tok.line:
+                    applies = line
+                    break
+        waivers.append(Waiver(rule, tok.line, applies, reason))
+    # A standalone waiver whose "next code line" is itself a waived comment
+    # line cannot happen (comment lines carry no code tokens), but two
+    # waivers may bind to one line — that is fine and intended.
+    del comment_lines
+    return waivers
+
+
+def load_file(path: Path, root: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    toks = cpptok.tokenize(text)
+    source = SourceFile(
+        path=path,
+        rel=path.relative_to(root).as_posix(),
+        text=text,
+        toks=toks,
+    )
+    source.code = [t for t in toks if t.kind != "comment"]
+    source.waivers = _bind_waivers(toks)
+    return source
+
+
+def load_tree(root: Path) -> list[SourceFile]:
+    files = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix in {".cpp", ".hpp"}:
+            files.append(load_file(path, root))
+    return files
+
+
+class Reporter:
+    """Collects findings, applying (and marking) waivers."""
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    def report(self, source: SourceFile | None, rule: str, line: int,
+               message: str, rel: str | None = None) -> None:
+        if source is not None:
+            waiver = source.waiver_for(rule, line)
+            if waiver is not None:
+                waiver.used = True
+                return
+        path = source.rel if source is not None else (rel or "<manifest>")
+        self.findings.append(Finding(rule, path, line, message))
+
+
+def audit_waivers(files: list[SourceFile], reporter: Reporter) -> None:
+    """Runs AFTER every pass: dead or reasonless waivers are findings."""
+    for source in files:
+        for waiver in source.waivers:
+            if not waiver.reason:
+                reporter.findings.append(Finding(
+                    "waiver-missing-reason", source.rel, waiver.line,
+                    f"waiver allow({waiver.rule}) has no 'reason:' clause; "
+                    "every waiver must explain why the rule does not apply",
+                ))
+            if not waiver.used:
+                reporter.findings.append(Finding(
+                    "stale-waiver", source.rel, waiver.line,
+                    f"waiver allow({waiver.rule}) no longer suppresses any "
+                    "finding; delete it so the waiver set only ratchets "
+                    "down",
+                ))
+
+
+def run(root: Path) -> list[Finding]:
+    """Runs every pass over the tree rooted at `root`; returns findings."""
+    from . import layers, lockrank, rules
+
+    files = load_tree(root)
+    reporter = Reporter()
+    rules.run(files, reporter, root)
+    layers.run(files, reporter, root)
+    lockrank.run(files, reporter, root)
+    audit_waivers(files, reporter)
+    reporter.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return reporter.findings

@@ -1,0 +1,225 @@
+"""Dependency-layer enforcement over the include graph.
+
+tools/layers.toml declares the layer order (lowest first). Every
+`#include "…"` edge between files under src/ must point downward or
+sideways in that order; upward edges and include cycles are findings,
+rendered with the offending path so the fix is obvious. Known historical
+exceptions live as [[waiver]] entries in the manifest (file + from + to +
+reason); like in-source waivers they are audited — an entry that stops
+suppressing a real edge becomes a stale-manifest-waiver finding, so the
+exception list only ratchets down.
+"""
+
+from __future__ import annotations
+
+import re
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+
+from .engine import Reporter, SourceFile
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+@dataclass
+class ManifestWaiver:
+    file: str
+    to_layer: str
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class Manifest:
+    order: list[str]
+    waivers: list[ManifestWaiver]
+
+    def rank(self, layer: str) -> int | None:
+        try:
+            return self.order.index(layer)
+        except ValueError:
+            return None
+
+
+def load_manifest(root: Path) -> Manifest:
+    path = root / "tools" / "layers.toml"
+    with path.open("rb") as fh:
+        data = tomllib.load(fh)
+    waivers = [
+        ManifestWaiver(w["file"], w["to"], w.get("reason", ""))
+        for w in data.get("waiver", [])
+    ]
+    return Manifest(order=list(data["layers"]["order"]), waivers=waivers)
+
+
+def layer_of(rel: str) -> str | None:
+    """Maps `src/<layer>/…` to `<layer>`; None for files outside src/."""
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def includes_of(source: SourceFile) -> list[tuple[str, int]]:
+    """Quoted includes as (normalized src/-relative path, line) pairs."""
+    out = []
+    for tok in source.toks:
+        if tok.kind != "pp":
+            continue
+        match = INCLUDE_RE.search(tok.text)
+        if match is None:
+            continue
+        # Quoted includes resolve against src/ (the include root); a few
+        # sibling includes ("pool.hpp") resolve against the including dir.
+        target = match.group(1)
+        if "/" not in target:
+            target = "/".join(source.rel.split("/")[1:-1] + [target])
+        else:
+            target = target
+        out.append((f"src/{target}", tok.line))
+    return out
+
+
+def run(files: list[SourceFile], reporter: Reporter, root: Path) -> None:
+    manifest = load_manifest(root)
+    by_rel = {f.rel: f for f in files}
+
+    # Every directory under src/ must be declared in the manifest — a new
+    # subsystem cannot silently join the graph unranked.
+    seen_layers = {layer_of(f.rel) for f in files} - {None}
+    for layer in sorted(seen_layers):
+        if manifest.rank(layer) is None:
+            reporter.report(
+                None, "layer-undeclared", 1,
+                f"directory src/{layer} is not listed in "
+                "tools/layers.toml [layers].order; every subsystem must "
+                "declare its place in the dependency order",
+                rel="tools/layers.toml")
+
+    # ---- upward edges
+    for source in files:
+        from_layer = layer_of(source.rel)
+        if from_layer is None:
+            continue
+        from_rank = manifest.rank(from_layer)
+        for target, line in includes_of(source):
+            to_layer = layer_of(target)
+            if to_layer is None or to_layer == from_layer:
+                continue
+            to_rank = manifest.rank(to_layer)
+            if from_rank is None or to_rank is None:
+                continue
+            if to_rank > from_rank:
+                waiver = _manifest_waiver(manifest, source.rel, to_layer)
+                if waiver is not None:
+                    waiver.used = True
+                    continue
+                reporter.report(
+                    source, "layer-upward-include", line,
+                    f"{source.rel} (layer '{from_layer}') includes "
+                    f"{target} (layer '{to_layer}'), which sits ABOVE it "
+                    f"in the dependency order [{ ' < '.join(manifest.order) }]"
+                    "; move the shared piece down a layer or invert the "
+                    "dependency")
+
+    # ---- include cycles among files (catches sideways/self cycles the
+    # order check cannot see)
+    graph: dict[str, list[tuple[str, int]]] = {}
+    for source in files:
+        graph[source.rel] = [
+            (t, line) for t, line in includes_of(source) if t in by_rel
+        ]
+    for cycle in _find_cycles(graph):
+        path_render = " -> ".join(cycle + [cycle[0]])
+        head = by_rel[cycle[0]]
+        line = next(
+            (ln for t, ln in graph[cycle[0]] if t == cycle[1 % len(cycle)]),
+            1)
+        reporter.report(
+            head, "layer-include-cycle", line,
+            f"include cycle: {path_render}; break the cycle with a "
+            "forward declaration or by splitting the shared interface out")
+
+    # ---- manifest waiver ratchet
+    for waiver in manifest.waivers:
+        if not waiver.reason:
+            reporter.report(
+                None, "waiver-missing-reason", 1,
+                f"manifest waiver for {waiver.file} -> layer "
+                f"'{waiver.to_layer}' has no reason field",
+                rel="tools/layers.toml")
+        if not waiver.used:
+            reporter.report(
+                None, "stale-waiver", 1,
+                f"manifest waiver for {waiver.file} -> layer "
+                f"'{waiver.to_layer}' no longer matches any include; "
+                "delete it from tools/layers.toml",
+                rel="tools/layers.toml")
+
+
+def _manifest_waiver(manifest: Manifest, rel: str,
+                     to_layer: str) -> ManifestWaiver | None:
+    for waiver in manifest.waivers:
+        if waiver.file == rel and waiver.to_layer == to_layer:
+            return waiver
+    return None
+
+
+def _find_cycles(graph: dict[str, list[tuple[str, int]]]) -> list[list[str]]:
+    """Returns one representative cycle per strongly connected component
+    of size > 1 (or a self-loop), each rotated to start at its smallest
+    node so output is deterministic."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    cycles: list[list[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: (node, edge iterator) frames.
+        work = [(v, iter(graph.get(v, ())))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for target, _line in edges:
+                if target not in index:
+                    index[target] = low[target] = counter[0]
+                    counter[0] += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((target, iter(graph.get(target, ()))))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    low[node] = min(low[node], index[target])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                self_loop = (len(scc) == 1 and any(
+                    t == scc[0] for t, _ in graph.get(scc[0], ())))
+                if len(scc) > 1 or self_loop:
+                    scc.reverse()
+                    smallest = min(range(len(scc)), key=lambda i: scc[i])
+                    cycles.append(scc[smallest:] + scc[:smallest])
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return cycles

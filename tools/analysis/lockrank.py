@@ -1,0 +1,162 @@
+"""Static side of the LockRank layer.
+
+The runtime check (src/common/lockrank.hpp) only fires when two ranks are
+actually acquired nested on one thread in a ZKG_CHECKED build. This pass
+holds the invariants the runtime check assumes, on every build of the
+analysis:
+
+  * the LockRank enum's values are unique and strictly increasing in
+    declaration order (the declaration IS the documented acquisition
+    order — a value edit that reorders silently would rot the docs);
+  * lock_rank_name() in lockrank.cpp has a case for every enumerator, so
+    inversion diagnostics never print "?";
+  * every debug::Mutex<…> instantiation in the tree names a declared rank.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .cpptok import Tok
+from .engine import Reporter, SourceFile
+
+HEADER = "src/common/lockrank.hpp"
+IMPL = "src/common/lockrank.cpp"
+
+
+def run(files: list[SourceFile], reporter: Reporter, root: Path) -> None:
+    header = next((f for f in files if f.rel == HEADER), None)
+    impl = next((f for f in files if f.rel == IMPL), None)
+    if header is None:
+        reporter.report(
+            None, "lockrank-missing", 1,
+            f"{HEADER} not found; the LockRank layer is mandatory",
+            rel=HEADER)
+        return
+
+    ranks = _parse_enum(header, reporter)
+    known = {name for name, _value, _line in ranks}
+
+    # Strictly increasing + unique values.
+    prev_name, prev_value = None, None
+    seen_values: dict[int, str] = {}
+    for name, value, line in ranks:
+        if value in seen_values:
+            reporter.report(
+                header, "lockrank-duplicate-value", line,
+                f"LockRank::{name} reuses value {value} "
+                f"(already {seen_values[value]}); ranks must be unique")
+        seen_values.setdefault(value, name)
+        if prev_value is not None and value <= prev_value:
+            reporter.report(
+                header, "lockrank-order", line,
+                f"LockRank::{name} ({value}) is not greater than "
+                f"LockRank::{prev_name} ({prev_value}); declaration order "
+                "must match value order — it documents the acquisition "
+                "order")
+        prev_name, prev_value = name, value
+
+    # lock_rank_name coverage.
+    if impl is not None:
+        cased = _case_labels(impl)
+        for name, _value, line in ranks:
+            if name not in cased:
+                reporter.report(
+                    impl, "lockrank-name-missing", 1,
+                    f"lock_rank_name() has no case for LockRank::{name}; "
+                    "inversion diagnostics would print '?'")
+
+    # Every Mutex<…LockRank::kX> names a declared rank.
+    for source in files:
+        if source.rel == HEADER:
+            continue
+        for name, line in _mutex_rank_uses(source.code):
+            if name not in known:
+                reporter.report(
+                    source, "lockrank-unknown-rank", line,
+                    f"Mutex<LockRank::{name}> names a rank that is not "
+                    f"declared in {HEADER}")
+
+
+def _parse_enum(header: SourceFile,
+                reporter: Reporter) -> list[tuple[str, int, int]]:
+    """Returns (enumerator, value, line) in declaration order."""
+    code = header.code
+    out: list[tuple[str, int, int]] = []
+    i = 0
+    n = len(code)
+    while i < n:
+        if (code[i].kind == "id" and code[i].text == "enum"
+                and i + 2 < n and code[i + 1].text == "class"
+                and code[i + 2].text == "LockRank"):
+            break
+        i += 1
+    else:
+        reporter.report(
+            header, "lockrank-missing", 1,
+            "enum class LockRank not found in lockrank.hpp")
+        return out
+    while i < n and code[i].text != "{":
+        i += 1
+    i += 1
+    while i < n and code[i].text != "}":
+        if code[i].kind == "id":
+            name = code[i].text
+            line = code[i].line
+            if (i + 2 < n and code[i + 1].text == "="
+                    and code[i + 2].kind == "num"):
+                out.append((name, int(code[i + 2].text, 0), line))
+            else:
+                reporter.report(
+                    header, "lockrank-order", line,
+                    f"LockRank::{name} has no explicit value; ranks must "
+                    "be explicit so diffs show order changes")
+            while i < n and code[i].text not in (",", "}"):
+                i += 1
+            if i < n and code[i].text == ",":
+                i += 1
+            continue
+        i += 1
+    return out
+
+
+def _case_labels(impl: SourceFile) -> set[str]:
+    """Enumerators appearing as `case LockRank::kX:` in lockrank.cpp."""
+    code = impl.code
+    out = set()
+    for i, tok in enumerate(code):
+        if (tok.kind == "id" and tok.text == "case"
+                and i + 3 < len(code) and code[i + 1].text == "LockRank"
+                and code[i + 2].text == "::"
+                and code[i + 3].kind == "id"):
+            out.add(code[i + 3].text)
+    return out
+
+
+def _mutex_rank_uses(code: list[Tok]) -> list[tuple[str, int]]:
+    """(rank name, line) for every Mutex<…LockRank::kX…> instantiation."""
+    out = []
+    for i, tok in enumerate(code):
+        if tok.kind != "id" or tok.text not in ("Mutex", "RankedMutex"):
+            continue
+        if i + 1 >= len(code) or code[i + 1].text != "<":
+            continue
+        # Scan the template argument list for LockRank::<id>.
+        j = i + 1
+        nest = 0
+        while j < len(code):
+            t = code[j].text
+            if t == "<":
+                nest += 1
+            elif t == ">":
+                nest -= 1
+                if nest == 0:
+                    break
+            elif t == ";" or t == "{":
+                break
+            elif (code[j].kind == "id" and code[j].text == "LockRank"
+                  and j + 2 < len(code) and code[j + 1].text == "::"
+                  and code[j + 2].kind == "id"):
+                out.append((code[j + 2].text, code[j + 2].line))
+            j += 1
+    return out

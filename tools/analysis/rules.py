@@ -1,0 +1,345 @@
+"""Token-aware architectural rules.
+
+The PR 4 regex rules rewritten on the shared token stream (strings and
+comments can no longer mis-fire, multi-line constructs are visible), plus
+the concurrency rules that arrived with the LockRank layer:
+
+  blocking-under-lock  no blocking call (.get() on a future, .wait*() on
+                       anything but the held lock, .lock()/.join()/
+                       .wait_idle(), sleep_for) while a mutex guard is held,
+                       in src/serve and src/data
+  detached-thread      no .detach()ed threads anywhere
+  raw-mutex            std::mutex / std::condition_variable only inside
+                       src/common/lockrank.hpp — everything else declares a
+                       ranked debug::Mutex<LockRank> / debug::CondVar
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .cpptok import Tok
+from .engine import Reporter, SourceFile
+
+# Files allowed to use raw threading primitives: the one parallel layer.
+PARALLEL_LAYER = {
+    "src/common/parallel.cpp",
+    "src/common/threadpool.cpp",
+    "src/common/threadpool.hpp",
+}
+
+# Files allowed to open std::ofstream directly: the crash-safe checkpoint
+# writer itself and the tensor serializer it builds on.
+ATOMIC_WRITE_LAYER_PREFIX = "src/ckpt/"
+ATOMIC_WRITE_LAYER = {"src/tensor/serialize.cpp"}
+
+# Files allowed to use raw SIMD intrinsics: the kernel backends.
+SIMD_LAYER_PREFIX = "src/tensor/backend/"
+
+# The one file allowed to name raw std synchronisation primitive TYPES.
+LOCKRANK_LAYER = "src/common/lockrank.hpp"
+
+# Directories where blocking-under-lock applies: the two subsystems whose
+# mutexes guard producer/consumer handoffs on the serving/training path.
+BLOCKING_SCOPE_PREFIXES = ("src/serve/", "src/data/")
+
+RAW_SYNC_TYPES = {
+    "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "condition_variable",
+    "condition_variable_any",
+}
+
+GUARD_TYPES = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
+
+BLOCKING_MEMBERS = {"get", "wait", "wait_for", "wait_until", "wait_idle",
+                    "join"}
+
+PP_OMP = re.compile(r"#\s*pragma\s+omp\b")
+PP_SIMD_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:imm|emm|xmm|pmm|smm|tmm|nmm|wmm|avx|avx2)intrin\.h>")
+SIMD_CALL = re.compile(r"_mm\d*_\w+$")
+SIMD_TYPE = re.compile(r"__m(?:128|256|512)[di]?$")
+
+
+def run(files: list[SourceFile], reporter: Reporter, root: Path) -> None:
+    for source in files:
+        _lint_tokens(source, reporter)
+        if source.rel.startswith(BLOCKING_SCOPE_PREFIXES):
+            _lint_blocking_under_lock(source, reporter)
+    ops = next((f for f in files if f.rel == "src/tensor/ops.hpp"), None)
+    if ops is not None:
+        _lint_into_counterparts(ops, reporter)
+
+
+# --------------------------------------------------------------- token scan
+
+def _lint_tokens(source: SourceFile, reporter: Reporter) -> None:
+    rel = source.rel
+    code = source.code
+    in_parallel_layer = rel in PARALLEL_LAYER
+    in_atomic_layer = (rel.startswith(ATOMIC_WRITE_LAYER_PREFIX)
+                       or rel in ATOMIC_WRITE_LAYER)
+    in_simd_layer = rel.startswith(SIMD_LAYER_PREFIX)
+    in_lockrank_layer = rel == LOCKRANK_LAYER
+
+    for i, tok in enumerate(code):
+        prev = code[i - 1] if i > 0 else None
+        nxt = code[i + 1] if i + 1 < len(code) else None
+
+        if tok.kind == "pp":
+            if not in_parallel_layer and PP_OMP.search(tok.text):
+                reporter.report(
+                    source, "parallel-primitives", tok.line,
+                    "#pragma omp outside the parallel layer; "
+                    "use zkg::parallel_for")
+            if not in_simd_layer and PP_SIMD_INCLUDE.search(tok.text):
+                reporter.report(
+                    source, "simd-outside-backend", tok.line,
+                    "SIMD intrinsics header outside src/tensor/backend/; "
+                    "add a KernelBackend kernel instead")
+            continue
+        if tok.kind != "id" and tok.kind != "punct":
+            continue
+
+        # std::{thread,jthread,async} — multi-line qualified names included.
+        if (tok.kind == "id" and tok.text in ("thread", "jthread", "async")
+                and _qualified_by(code, i, "std")
+                and not in_parallel_layer):
+            reporter.report(
+                source, "parallel-primitives", tok.line,
+                f"std::{tok.text} outside the parallel layer; "
+                "use zkg::parallel_for")
+
+        # Raw synchronisation primitive types outside the LockRank layer.
+        if (tok.kind == "id" and tok.text in RAW_SYNC_TYPES
+                and _qualified_by(code, i, "std")
+                and not in_lockrank_layer):
+            reporter.report(
+                source, "raw-mutex", tok.line,
+                f"raw std::{tok.text} outside src/common/lockrank.hpp; "
+                "declare a ranked zkg::debug::Mutex<LockRank> / "
+                "debug::CondVar and keep guards on CTAD "
+                "(std::lock_guard lock(m))")
+
+        # Naked allocation.
+        if tok.kind == "id" and tok.text == "new":
+            if (nxt is not None
+                    and (nxt.kind == "id" or nxt.text in ("(", "::"))
+                    and (prev is None or prev.text != "operator")):
+                reporter.report(
+                    source, "naked-allocation", tok.line,
+                    "naked new; use containers or std::make_unique")
+        if tok.kind == "id" and tok.text == "delete":
+            deleted_member = prev is not None and prev.text == "="
+            if (not deleted_member and nxt is not None
+                    and (nxt.kind == "id" or nxt.text in ("(", "*", "["))
+                    and (prev is None or prev.text != "operator")):
+                reporter.report(
+                    source, "naked-allocation", tok.line,
+                    "naked delete; use containers or std::make_unique")
+        if (tok.kind == "id"
+                and tok.text in ("malloc", "calloc", "realloc", "free")
+                and nxt is not None and nxt.text == "("
+                and (prev is None or prev.text not in (".", "->"))):
+            reporter.report(
+                source, "naked-allocation", tok.line,
+                "C allocation function; use containers or std::make_unique")
+
+        # exit()/abort()/std::terminate in library code.
+        if (tok.kind == "id"
+                and tok.text in ("exit", "abort", "_Exit", "quick_exit")
+                and nxt is not None and nxt.text == "("
+                and (prev is None or prev.text not in (".", "->"))
+                and _unqualified_or_std(code, i)):
+            reporter.report(
+                source, "exit-in-library", tok.line,
+                "library code must throw, never exit()/abort()")
+        if (tok.kind == "id" and tok.text == "terminate"
+                and _qualified_by(code, i, "std")
+                and nxt is not None and nxt.text == "("):
+            reporter.report(
+                source, "exit-in-library", tok.line,
+                "library code must throw, never std::terminate()")
+
+        # (void)x; unused-marking.
+        if (tok.text == "(" and nxt is not None and nxt.text == "void"
+                and i + 3 < len(code) and code[i + 2].text == ")"
+                and code[i + 3].kind == "id"
+                and (prev is None or prev.text in (";", "{", "}"))):
+            reporter.report(
+                source, "void-cast-unused", tok.line,
+                "(void)x; unused-marking is banned; use [[maybe_unused]]")
+
+        # Direct std::ofstream outside the crash-safe writer layer.
+        if (tok.kind == "id" and tok.text == "ofstream"
+                and _qualified_by(code, i, "std") and not in_atomic_layer):
+            reporter.report(
+                source, "atomic-write", tok.line,
+                "direct std::ofstream outside the crash-safe writer layer; "
+                "use zkg::ckpt::atomic_write_file")
+
+        # SIMD intrinsics outside the backend layer.
+        if tok.kind == "id" and not in_simd_layer:
+            if ((SIMD_CALL.fullmatch(tok.text)
+                 and nxt is not None and nxt.text == "(")
+                    or SIMD_TYPE.fullmatch(tok.text)):
+                reporter.report(
+                    source, "simd-outside-backend", tok.line,
+                    "raw SIMD intrinsics outside src/tensor/backend/; add a "
+                    "KernelBackend kernel instead")
+
+        # Detached threads: a fire-and-forget thread outlives every
+        # invariant the destructor order was designed to protect.
+        if (tok.kind == "id" and tok.text == "detach"
+                and prev is not None and prev.text in (".", "->")
+                and nxt is not None and nxt.text == "("):
+            reporter.report(
+                source, "detached-thread", tok.line,
+                ".detach()ed thread; threads must be joined (use the "
+                "ThreadPool, whose destructor joins)")
+
+
+def _qualified_by(code: list[Tok], i: int, ns: str) -> bool:
+    """True when code[i] is written as `ns::<token>` (possibly multi-line)."""
+    return (i >= 2 and code[i - 1].text == "::" and code[i - 2].kind == "id"
+            and code[i - 2].text == ns)
+
+
+def _unqualified_or_std(code: list[Tok], i: int) -> bool:
+    """True unless code[i] is qualified by a namespace other than std."""
+    if i >= 1 and code[i - 1].text == "::":
+        return i >= 2 and code[i - 2].text == "std"
+    return True
+
+
+# ------------------------------------------------- blocking while locked
+
+def _lint_blocking_under_lock(source: SourceFile,
+                              reporter: Reporter) -> None:
+    """Scope-tracking scan: no blocking call while a mutex guard is held.
+
+    Heuristic but deliberate: guard variables are recognised at their
+    declaration (std::lock_guard / unique_lock / scoped_lock via CTAD or
+    explicit template args), tracked until their enclosing brace closes,
+    and manual guard.unlock()/guard.lock() toggles are honoured. Condition
+    variable waits that take the held guard as their first argument are the
+    one sanctioned blocking call — the wait releases the lock.
+    """
+    code = source.code
+    depth = 0
+    guards: list[dict] = []  # {var, depth, held}
+
+    def held_guards() -> list[dict]:
+        return [g for g in guards if g["held"]]
+
+    i = 0
+    while i < len(code):
+        tok = code[i]
+        nxt = code[i + 1] if i + 1 < len(code) else None
+        prev = code[i - 1] if i > 0 else None
+
+        if tok.text == "{":
+            depth += 1
+        elif tok.text == "}":
+            depth -= 1
+            guards[:] = [g for g in guards if g["depth"] <= depth]
+        elif tok.kind == "id" and tok.text in GUARD_TYPES:
+            j = i + 1
+            if j < len(code) and code[j].text == "<":
+                j = _skip_angle(code, j)
+            if (j < len(code) and code[j].kind == "id"
+                    and j + 1 < len(code) and code[j + 1].text == "("):
+                guards.append(
+                    {"var": code[j].text, "depth": depth, "held": True})
+                i = j + 1
+                continue
+        elif (tok.kind == "id" and prev is not None
+              and prev.text in (".", "->") and nxt is not None
+              and nxt.text == "("):
+            receiver = code[i - 2].text if i >= 2 else ""
+            guard = next(
+                (g for g in guards if g["var"] == receiver), None)
+            if tok.text == "unlock" and guard is not None:
+                guard["held"] = False
+            elif tok.text == "lock" and guard is not None:
+                guard["held"] = True
+            elif held_guards():
+                if tok.text == "lock":
+                    _blocked(reporter, source, tok,
+                             f"{receiver}.lock()", held_guards())
+                elif tok.text in BLOCKING_MEMBERS:
+                    first_arg = code[i + 2] if i + 2 < len(code) else None
+                    wait_on_guard = (
+                        tok.text.startswith("wait") and first_arg is not None
+                        and any(g["var"] == first_arg.text
+                                for g in held_guards()))
+                    if not wait_on_guard:
+                        _blocked(reporter, source, tok,
+                                 f"{receiver}.{tok.text}()", held_guards())
+        elif (tok.kind == "id" and tok.text in ("sleep_for", "sleep_until")
+              and held_guards()):
+            _blocked(reporter, source, tok, f"{tok.text}()", held_guards())
+        i += 1
+
+
+def _blocked(reporter: Reporter, source: SourceFile, tok: Tok, what: str,
+             held: list[dict]) -> None:
+    vars_held = ", ".join(g["var"] for g in held)
+    reporter.report(
+        source, "blocking-under-lock", tok.line,
+        f"blocking call {what} while holding mutex guard(s) [{vars_held}]; "
+        "release the lock first (condition-variable waits on the held "
+        "guard are the one sanctioned blocking call)")
+
+
+def _skip_angle(code: list[Tok], i: int) -> int:
+    """Given code[i] == '<', returns the index just past the matching '>'."""
+    nest = 0
+    while i < len(code):
+        if code[i].text == "<":
+            nest += 1
+        elif code[i].text == ">":
+            nest -= 1
+            if nest == 0:
+                return i + 1
+        elif code[i].text == ">>":
+            nest -= 2
+            if nest <= 0:
+                return i + 1
+        elif code[i].text in (";", "{"):
+            return i  # not template args after all
+        i += 1
+    return i
+
+
+# ---------------------------------------------------- _into counterparts
+
+# Kernels whose value form has no meaningful destination-reuse story.
+INTO_EXEMPT: set[str] = set()
+
+
+def _lint_into_counterparts(ops: SourceFile, reporter: Reporter) -> None:
+    code = ops.code
+    idents = {t.text for t in code if t.kind == "id"}
+    for i, tok in enumerate(code):
+        if tok.kind != "id" or tok.text != "Tensor":
+            continue
+        prev = code[i - 1] if i > 0 else None
+        nxt = code[i + 1] if i + 1 < len(code) else None
+        after = code[i + 2] if i + 2 < len(code) else None
+        # A value-returning kernel declaration: `Tensor name(` at statement
+        # position (start of file, after ; { } or a pp directive).
+        if (nxt is None or after is None or nxt.kind != "id"
+                or after.text != "("):
+            continue
+        if prev is not None and prev.kind not in ("pp",) \
+                and prev.text not in (";", "{", "}"):
+            continue
+        name = nxt.text
+        if name in INTO_EXEMPT or name.endswith("_into"):
+            continue
+        if f"{name}_into" not in idents:
+            reporter.report(
+                ops, "into-counterpart", tok.line,
+                f"kernel '{name}' has no '{name}_into' counterpart")

@@ -1,261 +1,40 @@
 #!/usr/bin/env python3
-"""Architectural linter for the zk-gandef codebase.
+"""Architectural lint — compatibility front-end for tools/analysis.
 
-Enforces repo invariants that clang-tidy cannot express:
+Historically this file WAS the linter: ~260 lines of per-line regexes.
+That core is gone; the rules now run token-aware inside the analysis
+engine (tools/analysis/, driven by tools/analyze.py) together with the
+dependency-layer and LockRank passes. This shim keeps the old entry point
+(`cmake --build build -t lint`, `python3 tools/lint.py`) and its console
+contract: one `path:line: [rule] message` line per finding, exit 1 when
+anything fires.
 
-  parallel-primitives   std::thread / std::async / #pragma omp appear only in
-                        src/common/parallel.cpp and src/common/threadpool.*
-                        (the single parallelism entry point).
-  naked-allocation      no `new` / `delete` / `malloc` / `free` under src/;
-                        ownership goes through containers and smart pointers.
-  exit-in-library       library code under src/ never calls exit(), abort(),
-                        _Exit() or std::terminate(); errors are exceptions.
-  into-counterpart      every value-returning kernel declared in
-                        src/tensor/ops.hpp has a `_into` counterpart writing
-                        to a caller-provided destination.
-  void-cast-unused      `(void)x;` unused-marking is banned in favour of
-                        [[maybe_unused]].
-  atomic-write          direct std::ofstream writes are confined to the
-                        crash-safe writer layer (src/ckpt/ and
-                        src/tensor/serialize.cpp); everything that persists
-                        state a crash could corrupt must go through
-                        zkg::ckpt::atomic_write_file.
-  simd-outside-backend  <immintrin.h> (and friends) and _mm/__m intrinsics
-                        appear only under src/tensor/backend/ — all SIMD
-                        lives behind the KernelBackend table, so the rest
-                        of the codebase stays portable and backend-agnostic.
-
-A finding can be waived for one line with a trailing comment:
-
-    some_code();  // zkg-lint: allow(naked-allocation) reason...
-
-Exit status is 0 when clean, 1 when any finding is reported.
+For machine-readable output (JSON/SARIF) or the engine selftest, call
+tools/analyze.py directly. The rule catalog and waiver policy are
+documented in DESIGN.md §15.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-SRC = REPO / "src"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
 
-# Files allowed to use raw threading primitives: the one parallel layer.
-PARALLEL_LAYER = {
-    "src/common/parallel.cpp",
-    "src/common/threadpool.cpp",
-    "src/common/threadpool.hpp",
-}
-
-# Files allowed to open std::ofstream directly: the crash-safe checkpoint
-# writer itself, and the tensor serializer it builds on. Anything else that
-# writes files must use zkg::ckpt::atomic_write_file (tmp + fsync + rename)
-# or carry an explicit waiver for output a crash is allowed to truncate.
-ATOMIC_WRITE_LAYER_PREFIX = "src/ckpt/"
-ATOMIC_WRITE_LAYER = {
-    "src/tensor/serialize.cpp",
-}
-
-WAIVER = re.compile(r"//\s*zkg-lint:\s*allow\(([a-z-]+)\)")
-
-RULE_PARALLEL = re.compile(
-    r"\bstd::(thread|jthread|async)\b|#\s*pragma\s+omp\b"
-)
-# `new` as an expression: `new Foo`, `= new`, `(new ...)`. Avoids matching
-# identifiers like `renew` and placement syntax in comments (comments are
-# stripped before matching).
-RULE_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_:(]")
-RULE_DELETE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+[A-Za-z_:(*]")
-RULE_MALLOC = re.compile(r"\b(std::)?(malloc|calloc|realloc|free)\s*\(")
-RULE_EXIT = re.compile(r"(?<![\w.:])(std::)?(exit|abort|_Exit|quick_exit)\s*\(")
-RULE_TERMINATE = re.compile(r"\bstd::terminate\s*\(")
-RULE_VOID_CAST = re.compile(r"^\s*\(void\)\s*[A-Za-z_][\w.\->\[\]]*\s*;")
-RULE_OFSTREAM = re.compile(r"\bstd::ofstream\b")
-# SIMD intrinsics headers and identifiers: <immintrin.h> and the other x86
-# vector headers, _mm*/..._mm256 calls, and __m128/__m256/__m512 types.
-RULE_SIMD = re.compile(
-    r"#\s*include\s*<(imm|emm|xmm|pmm|smm|tmm|nmm|wmm|avx|avx2)intrin\.h>"
-    r"|\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[di]?\b"
-)
-
-# Files allowed to use raw SIMD intrinsics: the kernel backends themselves.
-SIMD_LAYER_PREFIX = "src/tensor/backend/"
-
-# `= delete;` / `= delete("...")` special member suppression is not the
-# deallocation operator.
-DELETED_MEMBER = re.compile(r"=\s*delete\s*[;(]")
-
-
-def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
-    """Blanks out string/char literals and comments, preserving length.
-
-    Returns the scrubbed line and whether a /* block comment is still open.
-    """
-    out = []
-    i = 0
-    n = len(line)
-    state = "block" if in_block else "code"
-    while i < n:
-        ch = line[i]
-        nxt = line[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if ch == "/" and nxt == "/":
-                break  # rest of line is a comment
-            if ch == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if ch == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if ch == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(ch)
-            i += 1
-        elif state == "block":
-            if ch == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(" ")
-            i += 1
-        else:  # string or char literal
-            if ch == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if (state == "string" and ch == '"') or (
-                state == "char" and ch == "'"
-            ):
-                state = "code"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(" ")
-            i += 1
-    return "".join(out), state == "block"
-
-
-class Finding:
-    def __init__(self, path: Path, line_no: int, rule: str, message: str):
-        self.path = path
-        self.line_no = line_no
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        rel = self.path.relative_to(REPO)
-        return f"{rel}:{self.line_no}: [{self.rule}] {self.message}"
-
-
-def lint_file(path: Path) -> list[Finding]:
-    rel = str(path.relative_to(REPO))
-    findings: list[Finding] = []
-    in_block = False
-    raw_lines = path.read_text(encoding="utf-8").splitlines()
-    for line_no, raw in enumerate(raw_lines, start=1):
-        waived = {m.group(1) for m in WAIVER.finditer(raw)}
-        code, in_block = strip_comments_and_strings(raw, in_block)
-
-        def report(rule: str, message: str) -> None:
-            if rule not in waived:
-                findings.append(Finding(path, line_no, rule, message))
-
-        if rel not in PARALLEL_LAYER and RULE_PARALLEL.search(code):
-            report(
-                "parallel-primitives",
-                "raw threading primitive outside the parallel layer; "
-                "use zkg::parallel_for",
-            )
-        scrubbed = DELETED_MEMBER.sub(lambda m: " " * len(m.group(0)), code)
-        if RULE_NEW.search(scrubbed) or RULE_DELETE.search(scrubbed):
-            report(
-                "naked-allocation",
-                "naked new/delete; use containers or std::make_unique",
-            )
-        if RULE_MALLOC.search(code):
-            report(
-                "naked-allocation",
-                "C allocation function; use containers or std::make_unique",
-            )
-        if RULE_EXIT.search(code) or RULE_TERMINATE.search(code):
-            report(
-                "exit-in-library",
-                "library code must throw, never exit()/abort()",
-            )
-        if RULE_VOID_CAST.search(code):
-            report(
-                "void-cast-unused",
-                "(void)x; unused-marking is banned; use [[maybe_unused]]",
-            )
-        if (
-            not rel.startswith(ATOMIC_WRITE_LAYER_PREFIX)
-            and rel not in ATOMIC_WRITE_LAYER
-            and RULE_OFSTREAM.search(code)
-        ):
-            report(
-                "atomic-write",
-                "direct std::ofstream outside the crash-safe writer layer; "
-                "use zkg::ckpt::atomic_write_file",
-            )
-        if not rel.startswith(SIMD_LAYER_PREFIX) and RULE_SIMD.search(code):
-            report(
-                "simd-outside-backend",
-                "raw SIMD intrinsics outside src/tensor/backend/; add a "
-                "KernelBackend kernel instead",
-            )
-    return findings
-
-
-# Matches a value-returning kernel declaration in ops.hpp, e.g.
-# `Tensor add(const Tensor& a, const Tensor& b);` possibly spanning lines.
-OPS_DECL = re.compile(r"^Tensor\s+(\w+)\s*\(", re.MULTILINE)
-# Kernels whose value form has no meaningful destination-reuse story: they
-# return indices/scalars or are covered by an in-place `_` form only.
-INTO_EXEMPT: set[str] = set()
-
-
-def lint_into_counterparts(ops_hpp: Path) -> list[Finding]:
-    text = ops_hpp.read_text(encoding="utf-8")
-    value_kernels = set(OPS_DECL.findall(text)) - INTO_EXEMPT
-    findings = []
-    for name in sorted(value_kernels):
-        if not re.search(rf"\b{re.escape(name)}_into\s*\(", text):
-            line_no = text[: text.index(f"Tensor {name}")].count("\n") + 1
-            findings.append(
-                Finding(
-                    ops_hpp,
-                    line_no,
-                    "into-counterpart",
-                    f"kernel '{name}' has no '{name}_into' counterpart",
-                )
-            )
-    return findings
+from analysis import engine  # noqa: E402
 
 
 def main() -> int:
-    findings: list[Finding] = []
-    for path in sorted(SRC.rglob("*")):
-        if path.suffix in {".cpp", ".hpp"}:
-            findings.extend(lint_file(path))
-    findings.extend(lint_into_counterparts(SRC / "tensor" / "ops.hpp"))
-
+    findings = engine.run(REPO_ROOT)
     for finding in findings:
-        print(finding)
+        print(finding.render())
     if findings:
-        print(f"\ntools/lint.py: {len(findings)} finding(s)")
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print("tools/lint.py: clean")
+    print("lint: clean")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())
