@@ -48,6 +48,7 @@
 #include "attacks/fgsm.hpp"
 #include "attacks/pgd.hpp"
 #include "common/env.hpp"
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
@@ -145,9 +146,10 @@ PhaseResult run_batched(serve::InferenceServer& server,
       }
     });
   }
-  while (watch.seconds() < seconds) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  // One computed sleep for the whole phase (tools/analyze.py flags
+  // sleep-in-loop polling); the closed-loop clients keep the server busy.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(std::max(0.0, seconds - watch.seconds())));
   stop.store(true);
   for (std::thread& worker : workers) worker.join();
   PhaseResult result;
@@ -159,10 +161,20 @@ PhaseResult run_batched(serve::InferenceServer& server,
 struct OverloadResult {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed_low = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t faulted = 0;
+  double p99_under_faults_ms = 0.0;
 };
 
 /// Open-loop burst far beyond capacity: fire-and-forget submissions into a
-/// deliberately small queue. The server must reject, not buffer forever.
+/// deliberately small queue, with the mixed population the hardened server
+/// exists for — ~25% low priority, ~33% tight deadlines, ~10% client
+/// cancellations — and a probabilistic delay failpoint armed on the batch
+/// forward. The server must shed with typed outcomes (never buffer
+/// forever), and the recorded p99 is the tail under injected stalls.
 OverloadResult run_overload(models::Classifier& model,
                             models::Discriminator& alarm,
                             const std::vector<Tensor>& traffic,
@@ -171,21 +183,50 @@ OverloadResult run_overload(models::Classifier& model,
   config.max_batch = 16;
   config.max_delay_s = 0.001;
   config.max_queue = 64;
+  config.watchdog_s = 5.0;  // far above any injected stall: must not fire
   serve::InferenceServer server(model, config, &alarm);
+
+  fail::Spec stall;
+  stall.policy = fail::Policy::kDelay;
+  stall.probability = 0.2;  // ~1 in 5 batches eats an injected stall
+  stall.seed = 20190417;
+  stall.delay_s = 0.002;
+  fail::FailpointScope scope("serve.batch_forward", stall);
+
   OverloadResult result;
-  std::vector<std::future<serve::Prediction>> futures;
-  futures.reserve(static_cast<std::size_t>(burst));
+  std::vector<serve::RequestHandle> handles;
+  handles.reserve(static_cast<std::size_t>(burst));
   for (std::int64_t i = 0; i < burst; ++i) {
+    serve::SubmitOptions options;
+    if (i % 4 == 0) options.priority = serve::Priority::kLow;
+    // A hair over the flush deadline: back-of-queue requests and batches
+    // that eat an injected stall overrun it, front-of-queue ones make it.
+    if (i % 3 == 0) options.deadline_s = 0.002;
     try {
-      futures.push_back(
-          server.submit(traffic[static_cast<std::size_t>(i) %
-                                traffic.size()]));
+      handles.push_back(server.submit(
+          traffic[static_cast<std::size_t>(i) % traffic.size()], options));
       ++result.accepted;
     } catch (const serve::Overloaded&) {
       ++result.rejected;
+      continue;
+    }
+    if (i % 10 == 0) static_cast<void>(handles.back().cancel());
+  }
+  for (serve::RequestHandle& handle : handles) {
+    try {
+      static_cast<void>(handle.get());
+      ++result.served;
+    } catch (const serve::DeadlineExceeded&) {
+      ++result.deadline_expired;
+    } catch (const serve::Cancelled&) {
+      ++result.cancelled;
+    } catch (const serve::Overloaded&) {
+      ++result.shed_low;  // accepted, then evicted for a normal request
+    } catch (const Error&) {
+      ++result.faulted;  // unexpected under a delay-only failpoint
     }
   }
-  for (std::future<serve::Prediction>& future : futures) future.get();
+  result.p99_under_faults_ms = server.stats().p99_latency_s * 1e3;
   return result;
 }
 
@@ -260,8 +301,12 @@ int main() {
             << stats.deadline_flushes << " deadline flushes, max batch "
             << stats.max_batch_observed << ")\n";
   std::cout << "overload burst: " << overload.accepted << " accepted, "
-            << overload.rejected
-            << " rejected (bounded queue sheds load)\n";
+            << overload.rejected << " rejected at the door; of accepted: "
+            << overload.served << " served, " << overload.shed_low
+            << " low-priority shed, " << overload.deadline_expired
+            << " deadlines expired, " << overload.cancelled
+            << " cancelled (p99 under injected stalls "
+            << Table::fixed(overload.p99_under_faults_ms, 2) << " ms)\n";
 
   obs::JsonObject doc;
   {
@@ -304,6 +349,13 @@ int main() {
     obs::JsonObject phase;
     phase["accepted"] = static_cast<std::int64_t>(overload.accepted);
     phase["rejected"] = static_cast<std::int64_t>(overload.rejected);
+    phase["served"] = static_cast<std::int64_t>(overload.served);
+    phase["shed_low"] = static_cast<std::int64_t>(overload.shed_low);
+    phase["deadline_expired"] =
+        static_cast<std::int64_t>(overload.deadline_expired);
+    phase["cancelled"] = static_cast<std::int64_t>(overload.cancelled);
+    phase["faulted"] = static_cast<std::int64_t>(overload.faulted);
+    phase["p99_under_faults_ms"] = overload.p99_under_faults_ms;
     doc["overload"] = std::move(phase);
   }
   const std::string json_path = env_or("ZKG_BENCH_JSON", "BENCH_serve.json");
@@ -322,6 +374,13 @@ int main() {
   }
   if (overload.rejected == 0) {
     std::cerr << "FAIL: overload burst was never load-shed\n";
+    return 1;
+  }
+  // Every accepted request must resolve to exactly one typed outcome.
+  if (overload.served + overload.shed_low + overload.deadline_expired +
+          overload.cancelled + overload.faulted !=
+      overload.accepted) {
+    std::cerr << "FAIL: overload outcomes do not sum to accepted requests\n";
     return 1;
   }
   if (strict && speedup < 3.0) {

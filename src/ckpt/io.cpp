@@ -12,8 +12,13 @@
 #include <iomanip>
 #include <sstream>
 
+#include <fstream>
+
+#include "ckpt/train_state.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/logging.hpp"
 
 namespace zkg::ckpt {
 namespace {
@@ -102,6 +107,7 @@ void atomic_write_file(const std::string& path, const std::string& payload) {
   {
     Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
     if (fd.get() < 0) io_fail("cannot create", tmp);
+    ZKG_FAILPOINT("ckpt.write");
     if (crash_scheduled_for_this_write()) {
       // Fault injection: die by SIGKILL with a half-written tmp file, the
       // worst instant for a non-atomic writer. The published checkpoint
@@ -113,8 +119,10 @@ void atomic_write_file(const std::string& path, const std::string& payload) {
     write_all(fd.get(), payload.data(), payload.size(), tmp);
     // Data must be durable BEFORE the rename publishes the name; otherwise
     // a crash could leave a fully-named, partially-persisted checkpoint.
+    ZKG_FAILPOINT("ckpt.fsync");
     if (::fsync(fd.get()) != 0) io_fail("cannot fsync", tmp);
   }
+  ZKG_FAILPOINT("ckpt.rename");
   if (::rename(tmp.c_str(), path.c_str()) != 0) io_fail("cannot rename", tmp);
   // Persist the directory entry so the rename itself survives power loss.
   fsync_path(target.has_parent_path() ? target.parent_path().string() : ".",
@@ -146,9 +154,36 @@ std::vector<std::string> list_checkpoints(const std::string& dir) {
   return paths;
 }
 
+std::string read_file(const std::string& path) {
+  ZKG_FAILPOINT("ckpt.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SerializationError("cannot open " + path + " for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw SerializationError("cannot read " + path);
+  }
+  return buffer.str();
+}
+
 std::string latest_checkpoint(const std::string& dir) {
   const std::vector<std::string> paths = list_checkpoints(dir);
-  return paths.empty() ? std::string() : paths.back();
+  // Newest first; a checkpoint that fails the envelope/CRC validation
+  // (truncated by a torn write, bit-rotted, wrong format) is logged and
+  // skipped so resume degrades to the next-older snapshot instead of
+  // wedging on the broken one.
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    try {
+      validate_train_state_bytes(read_file(*it));
+      return *it;
+    } catch (const std::exception& error) {
+      log::warn() << "ckpt: skipping invalid checkpoint " << *it << ": "
+                  << error.what();
+    }
+  }
+  return std::string();
 }
 
 void rotate_checkpoints(const std::string& dir, std::int64_t keep_last) {

@@ -40,7 +40,16 @@ CheckpointConfig checkpoint_config_from_env(CheckpointConfig base = {});
 /// the n-th atomic write of the process raises SIGKILL after writing half
 /// the payload to the tmp file — the fault-injection harness uses this to
 /// prove a mid-checkpoint crash cannot corrupt the published files.
+///
+/// Failpoint sites (DESIGN.md §16): ckpt.write (before the payload lands in
+/// the tmp file), ckpt.fsync (before the tmp fsync), ckpt.rename (before
+/// the publishing rename). A throw at any of them must leave the published
+/// checkpoint set untouched — the chaos suite proves it.
 void atomic_write_file(const std::string& path, const std::string& payload);
+
+/// Whole-file read into a byte string. Throws zkg::SerializationError when
+/// the file cannot be opened or read. Failpoint site: ckpt.read.
+std::string read_file(const std::string& path);
 
 /// Canonical checkpoint filename inside `dir` for a (epoch, batch) cursor.
 std::string checkpoint_path(const std::string& dir, std::int64_t epoch,
@@ -50,7 +59,11 @@ std::string checkpoint_path(const std::string& dir, std::int64_t epoch,
 /// newest. Ignores .tmp leftovers and unrelated files.
 std::vector<std::string> list_checkpoints(const std::string& dir);
 
-/// Newest published checkpoint path, or "" when the directory holds none.
+/// Newest VALID checkpoint path, or "" when the directory holds none.
+/// Validity means the ZKGC envelope and every section CRC check out
+/// (validate_train_state_bytes); a truncated or corrupt newest file is
+/// logged and skipped in favour of the next-older one, so a torn write
+/// that somehow got published never wedges resume.
 std::string latest_checkpoint(const std::string& dir);
 
 /// Deletes all but the newest `keep_last` checkpoints, plus any stale .tmp

@@ -2,7 +2,6 @@
 
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "ckpt/crc32.hpp"
@@ -381,23 +380,63 @@ TrainState decode_train_state(const std::string& bytes) {
   return state;
 }
 
+void validate_train_state_bytes(const std::string& bytes) {
+  if (bytes.size() < 12) {
+    fail("truncated header: " + std::to_string(bytes.size()) +
+         " bytes, need 12");
+  }
+  if (bytes.compare(0, 4, kMagic, 4) != 0) {
+    fail("bad magic: expected \"ZKGC\", got \"" + bytes.substr(0, 4) + "\"");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, 4);
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version) + ", expected " +
+         std::to_string(kVersion));
+  }
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 8, 4);
+  if (section_count > 64) {
+    fail("implausible section count " + std::to_string(section_count));
+  }
+  bool have_meta = false, have_modl = false;
+  std::uint64_t pos = 12;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    if (bytes.size() - pos < 12) {
+      fail("truncated section header at byte " + std::to_string(pos));
+    }
+    std::uint32_t tag = 0;
+    std::uint64_t size = 0;
+    std::memcpy(&tag, bytes.data() + pos, 4);
+    std::memcpy(&size, bytes.data() + pos + 4, 8);
+    pos += 12;
+    if (size > kMaxSectionBytes || bytes.size() - pos < size + 4) {
+      fail("section '" + tag_name(tag) + "' at byte " + std::to_string(pos) +
+           " claims " + std::to_string(size) + " bytes, file has " +
+           std::to_string(bytes.size() - pos) + " left");
+    }
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + pos + size, 4);
+    if (stored_crc != crc32(bytes.data() + pos, size)) {
+      fail("section '" + tag_name(tag) + "' CRC mismatch at byte " +
+           std::to_string(pos));
+    }
+    have_meta = have_meta || tag == kMeta;
+    have_modl = have_modl || tag == kModl;
+    pos += size + 4;
+  }
+  if (!have_meta || !have_modl) {
+    fail("missing required section: META and MODL must both be present");
+  }
+}
+
 void save_train_state(const std::string& path, const TrainState& state) {
   atomic_write_file(path, encode_train_state(state));
 }
 
 TrainState load_train_state(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw SerializationError("cannot open checkpoint " + path +
-                             " for reading");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) {
-    throw SerializationError("cannot read checkpoint " + path);
-  }
   try {
-    return decode_train_state(buffer.str());
+    return decode_train_state(read_file(path));
   } catch (const SerializationError& e) {
     throw SerializationError(path + ": " + e.what());
   }

@@ -81,6 +81,13 @@ std::string encode_train_state(const TrainState& state);
 /// on any corruption, truncation or CRC mismatch.
 TrainState decode_train_state(const std::string& bytes);
 
+/// Integrity check without materializing tensors: walks the ZKGC envelope
+/// (magic, version, section headers, bounds) and verifies every section's
+/// CRC plus the presence of the required META/MODL sections. Throws
+/// SerializationError on the first violation. latest_checkpoint() uses
+/// this to skip corrupt files cheaply.
+void validate_train_state_bytes(const std::string& bytes);
+
 /// encode + crash-safe atomic_write_file.
 void save_train_state(const std::string& path, const TrainState& state);
 /// Whole-file read + decode. Throws zkg::SerializationError.

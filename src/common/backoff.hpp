@@ -1,0 +1,88 @@
+// Jittered exponential backoff for retry loops (DESIGN.md §16).
+//
+// Every sleep-then-retry loop in the tree goes through this helper — the
+// sleep-in-loop lint (tools/analysis) rejects raw sleep_for retry loops
+// anywhere else. Deterministic: the jitter draws from a caller-seeded Rng,
+// so a retry schedule replays bit-identically under test.
+//
+//   Backoff backoff({.initial_s = 0.001, .max_s = 0.1}, /*seed=*/42);
+//   for (;;) {
+//     try { return server.submit(image).get(); }
+//     catch (const serve::Overloaded&) {
+//       if (backoff.attempt() >= 8) throw;
+//       backoff.sleep();
+//     }
+//   }
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace zkg {
+
+struct BackoffConfig {
+  double initial_s = 0.001;  // first delay
+  double max_s = 0.250;      // delays cap here
+  double multiplier = 2.0;   // growth per attempt
+  double jitter = 0.5;       // delay is scaled by uniform[1-jitter, 1]
+
+  void validate() const {
+    const auto fail = [](const std::string& what) {
+      throw ConfigError("BackoffConfig: " + what);
+    };
+    if (!(initial_s > 0.0)) fail("initial_s must be > 0");
+    if (!(max_s >= initial_s)) fail("max_s must be >= initial_s");
+    if (!(multiplier >= 1.0)) fail("multiplier must be >= 1");
+    if (!(jitter >= 0.0 && jitter <= 1.0)) fail("jitter must be in [0, 1]");
+  }
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffConfig& config = {},
+                   std::uint64_t seed = 0x5eed)
+      : config_(config), rng_(seed) {
+    config_.validate();
+  }
+
+  /// Number of completed sleep()s since construction or reset().
+  int attempt() const { return attempt_; }
+
+  /// The next delay: initial_s * multiplier^attempt, capped at max_s, then
+  /// scaled by a jitter factor in [1-jitter, 1] so synchronized retriers
+  /// de-correlate. Advances the attempt counter and the jitter stream.
+  double next_delay_s() {
+    double delay = config_.initial_s;
+    for (int i = 0; i < attempt_ && delay < config_.max_s; ++i) {
+      delay *= config_.multiplier;
+    }
+    delay = std::min(delay, config_.max_s);
+    if (config_.jitter > 0.0) {
+      const double lo = 1.0 - config_.jitter;
+      delay *= lo + (1.0 - lo) * static_cast<double>(rng_.uniform());
+    }
+    ++attempt_;
+    return delay;
+  }
+
+  /// Blocks the calling thread for next_delay_s().
+  void sleep() {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(next_delay_s()));
+  }
+
+  /// Back to the first-attempt delay; the jitter stream keeps advancing.
+  void reset() { attempt_ = 0; }
+
+ private:
+  BackoffConfig config_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace zkg

@@ -1,0 +1,319 @@
+#include "common/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <map>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/env.hpp"
+#include "common/lockrank.hpp"
+#include "common/logging.hpp"
+
+namespace zkg::fail {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+// What the site's policy decided, captured under the registry lock and
+// acted on after release — a delay must never serialize other sites'
+// evaluations, and a throw must not unwind through a held guard.
+enum class Action { kNone, kThrow, kErrorReturn, kDelay, kCrash };
+
+struct Site {
+  bool armed = false;
+  Spec spec;
+  std::mt19937_64 rng;
+  std::uint64_t hits = 0;   // evaluations while armed
+  std::uint64_t fires = 0;  // evaluations where the policy fired
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry* registry = [] {
+      // Leaked on purpose, same as obs::Telemetry: instrumented sites in
+      // static-duration objects (BufferPool, ThreadPool::shared()) may
+      // evaluate failpoints during static destruction.
+      auto* instance = new Registry();  // zkg-lint: allow(naked-allocation) reason: leaked singleton; must outlive static destruction
+      return instance;
+    }();
+    return *registry;
+  }
+
+  void arm(const std::string& site_name, const Spec& spec) {
+    std::lock_guard lock(mutex_);
+    Site& site = sites_[site_name];
+    site.armed = true;
+    site.spec = spec;
+    site.rng.seed(spec.seed);
+    recount_locked();
+  }
+
+  bool disarm(const std::string& site_name) {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site_name);
+    if (it == sites_.end() || !it->second.armed) return false;
+    it->second.armed = false;
+    recount_locked();
+    return true;
+  }
+
+  void disarm_all() {
+    std::lock_guard lock(mutex_);
+    for (auto& [name, site] : sites_) site.armed = false;
+    recount_locked();
+  }
+
+  bool lookup_previous(const std::string& site_name, Spec& out) {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site_name);
+    if (it == sites_.end() || !it->second.armed) return false;
+    out = it->second.spec;
+    return true;
+  }
+
+  std::uint64_t hits(const std::string& site_name) {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site_name);
+    return it == sites_.end() ? 0 : it->second.hits;
+  }
+
+  std::uint64_t fires(const std::string& site_name) {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site_name);
+    return it == sites_.end() ? 0 : it->second.fires;
+  }
+
+  std::vector<std::string> armed_sites() {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> names;
+    for (const auto& [name, site] : sites_) {
+      if (site.armed) names.push_back(name);
+    }
+    return names;  // std::map iteration order is already sorted
+  }
+
+  /// Decides what the site's policy does this evaluation. The RNG draw
+  /// happens here, under the lock, so concurrent evaluations of one site
+  /// consume the stream race-free; the caller acts on the verdict outside.
+  Action evaluate(const char* site_name, double& delay_s) {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site_name);
+    if (it == sites_.end() || !it->second.armed) return Action::kNone;
+    Site& site = it->second;
+    ++site.hits;
+    if (site.spec.probability < 1.0) {
+      std::bernoulli_distribution draw(
+          std::max(site.spec.probability, 0.0));
+      if (!draw(site.rng)) return Action::kNone;
+    }
+    ++site.fires;
+    delay_s = site.spec.delay_s;
+    switch (site.spec.policy) {
+      case Policy::kThrow: return Action::kThrow;
+      case Policy::kErrorReturn: return Action::kErrorReturn;
+      case Policy::kDelay: return Action::kDelay;
+      case Policy::kCrash: return Action::kCrash;
+    }
+    return Action::kNone;
+  }
+
+ private:
+  void recount_locked() {
+    std::size_t armed = 0;
+    for (const auto& [name, site] : sites_) armed += site.armed ? 1 : 0;
+    detail::g_armed.store(armed > 0, std::memory_order_relaxed);
+  }
+
+  debug::Mutex<debug::LockRank::kFailpoint> mutex_;
+  std::map<std::string, Site> sites_;
+};
+
+// Arm env-specified sites at program startup, same bootstrap trick as
+// obs::Telemetry: without this, a ZKG_FAILPOINTS run would only start
+// injecting after some code touched the registry explicitly.
+const bool g_bootstrap = (configure_from_env(), true);
+
+}  // namespace
+
+namespace detail {
+
+bool evaluate_site(const char* site) {
+  double delay_s = 0.0;
+  const Action action = Registry::global().evaluate(site, delay_s);
+  // Act OUTSIDE the registry lock: a sleeping delay policy must not block
+  // other sites, and SIGKILL/throw should not happen mid-guard.
+  switch (action) {
+    case Action::kNone:
+      return false;
+    case Action::kThrow: {
+      std::ostringstream what;
+      what << "failpoint: injected fault at site '" << site << "'";
+      throw InjectedFault(what.str(), site);
+    }
+    case Action::kErrorReturn:
+      return true;
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+      return false;
+    case Action::kCrash:
+      // A power cut, not a crash report: no unwinding, no atexit, no
+      // buffered-write flush. Subprocess harnesses assert on the signal.
+      std::raise(SIGKILL);
+      return false;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kThrow: return "throw";
+    case Policy::kErrorReturn: return "error-return";
+    case Policy::kDelay: return "delay";
+    case Policy::kCrash: return "crash";
+  }
+  return "?";
+}
+
+void arm(const std::string& site, const Spec& spec) {
+  if (!(spec.probability >= 0.0 && spec.probability <= 1.0)) {
+    throw ConfigError("failpoint: probability must be in [0, 1] for site '" +
+                      site + "'");
+  }
+  if (!(spec.delay_s >= 0.0)) {
+    throw ConfigError("failpoint: delay_s must be >= 0 for site '" + site +
+                      "'");
+  }
+  Registry::global().arm(site, spec);
+}
+
+void disarm(const std::string& site) { Registry::global().disarm(site); }
+
+void disarm_all() { Registry::global().disarm_all(); }
+
+std::uint64_t hit_count(const std::string& site) {
+  return Registry::global().hits(site);
+}
+
+std::uint64_t fire_count(const std::string& site) {
+  return Registry::global().fires(site);
+}
+
+std::vector<std::string> armed_sites() {
+  return Registry::global().armed_sites();
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+Policy parse_policy(const std::string& token, const std::string& clause) {
+  if (token == "throw") return Policy::kThrow;
+  if (token == "error-return") return Policy::kErrorReturn;
+  if (token == "delay") return Policy::kDelay;
+  if (token == "crash") return Policy::kCrash;
+  throw ConfigError(
+      "failpoint: unknown policy '" + token + "' in clause '" + clause +
+      "' (expected throw|error-return|delay|crash)");
+}
+
+}  // namespace
+
+std::pair<std::string, Spec> parse_clause(const std::string& clause) {
+  const std::vector<std::string> parts = split(clause, ':');
+  if (parts.size() < 2 || parts.size() > 4) {
+    throw ConfigError("failpoint: clause '" + clause +
+                      "' does not match site:policy[:prob[:seed]]");
+  }
+  if (parts[0].empty()) {
+    throw ConfigError("failpoint: empty site name in clause '" + clause +
+                      "'");
+  }
+  Spec spec;
+  spec.policy = parse_policy(parts[1], clause);
+  if (parts.size() >= 3) {
+    std::size_t consumed = 0;
+    double probability = 0.0;
+    try {
+      probability = std::stod(parts[2], &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != parts[2].size() || !(probability >= 0.0) ||
+        !(probability <= 1.0)) {
+      throw ConfigError("failpoint: probability '" + parts[2] +
+                        "' in clause '" + clause +
+                        "' must be a number in [0, 1]");
+    }
+    spec.probability = probability;
+  }
+  if (parts.size() == 4) {
+    std::size_t consumed = 0;
+    std::uint64_t seed = 0;
+    try {
+      seed = std::stoull(parts[3], &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != parts[3].size()) {
+      throw ConfigError("failpoint: seed '" + parts[3] + "' in clause '" +
+                        clause + "' must be a non-negative integer");
+    }
+    spec.seed = seed;
+  }
+  return {parts[0], spec};
+}
+
+void configure_from_env() {
+  const std::string value = env_or("ZKG_FAILPOINTS", "");
+  if (value.empty()) return;
+  for (const std::string& clause : split(value, ',')) {
+    if (clause.empty()) continue;
+    try {
+      const auto [site, spec] = parse_clause(clause);
+      arm(site, spec);
+    } catch (const std::exception& error) {
+      // This can run at static init, where a throw would terminate before
+      // main(); report and skip the clause instead.
+      log::error() << "failpoint: ignoring ZKG_FAILPOINTS clause '" << clause
+                   << "': " << error.what();
+    }
+  }
+}
+
+FailpointScope::FailpointScope(std::string site, const Spec& spec)
+    : site_(std::move(site)) {
+  had_previous_ = Registry::global().lookup_previous(site_, previous_);
+  arm(site_, spec);
+}
+
+FailpointScope::~FailpointScope() {
+  if (had_previous_) {
+    Registry::global().arm(site_, previous_);
+  } else {
+    Registry::global().disarm(site_);
+  }
+}
+
+}  // namespace zkg::fail

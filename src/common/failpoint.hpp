@@ -1,0 +1,165 @@
+// Deterministic failpoint injection (DESIGN.md §16).
+//
+// A failpoint is a named site in library code where a fault can be injected
+// on demand: ZKG_FAILPOINT("ckpt.fsync") compiles to a single relaxed atomic
+// load when nothing is armed (the same zero-cost-when-off pattern as
+// ZKG_SPAN), and to a policy evaluation when the site is armed. Policies:
+//
+//   throw         raise fail::InjectedFault at the site
+//   error-return  make ZKG_FAILPOINT_RETURN(site, expr) return `expr`
+//                 (plain ZKG_FAILPOINT treats it as a hit without effect)
+//   delay         sleep for the spec's delay_s (default 5 ms)
+//   crash         raise(SIGKILL) — the process dies without unwinding,
+//                 exactly like a power cut (subprocess tests only)
+//
+// Arming is either environment-driven —
+//
+//   ZKG_FAILPOINTS="ckpt.fsync:throw,serve.batch_forward:throw:0.2:42"
+//                   site:policy[:probability[:seed]] comma-separated
+//
+// — or programmatic and scoped:
+//
+//   fail::FailpointScope fp("pool.acquire", {fail::Policy::kDelay});
+//
+// Every armed site owns a seeded mt19937_64, so a probabilistic chaos run
+// replays bit-identically: same seed, same sequence of fire/skip decisions
+// at that site, independent of what any other site does. arm() resets the
+// stream; FailpointScope restores the previous spec (including its RNG
+// position is NOT preserved — re-arming restarts the stream, which is the
+// reproducible behaviour tests want).
+//
+// Threading: the registry mutex ranks kFailpoint (above kBufferPool, so
+// pool.acquire may evaluate a site; below kLogSink). The lookup and RNG
+// draw happen under the lock; the policy ACTS (throw/sleep/kill) only after
+// the lock is released, so a delay never blocks another site's evaluation
+// and the blocking-under-lock lint stays clean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace zkg::fail {
+
+/// Raised at a site armed with Policy::kThrow. Carries the site name so
+/// chaos tests can assert which failpoint fired.
+class InjectedFault : public Error {
+ public:
+  InjectedFault(const std::string& what, std::string site)
+      : Error(what), site_(std::move(site)) {}
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+enum class Policy {
+  kThrow,        // throw InjectedFault at the site
+  kErrorReturn,  // ZKG_FAILPOINT_RETURN returns its fallback expression
+  kDelay,        // sleep for delay_s, then continue normally
+  kCrash,        // raise(SIGKILL): no unwinding, no atexit — a power cut
+};
+
+/// Returns the grammar token for a policy ("throw", "error-return", ...).
+const char* policy_name(Policy policy);
+
+/// Per-site injection spec. probability < 1 makes the site fire on a
+/// seeded Bernoulli draw; the per-site stream restarts whenever the site
+/// is (re-)armed, so runs with the same seed replay identically.
+struct Spec {
+  Policy policy = Policy::kThrow;
+  double probability = 1.0;
+  std::uint64_t seed = 0x5eed;
+  double delay_s = 0.005;  // programmatic-only; the env grammar has no field
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+/// Slow path behind ZKG_FAILPOINT: look up `site`, draw its RNG, and act on
+/// the policy. Returns true when an error-return policy fired.
+bool evaluate_site(const char* site);
+}  // namespace detail
+
+/// True when at least one site is armed. Instrumented sites check this
+/// first; when false the whole failpoint machinery costs one relaxed load.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Function-form site for call sites that map an error-return policy onto
+/// their own error handling (e.g. serve.admit simulating an Overloaded
+/// rejection): true when the site fired with Policy::kErrorReturn. Other
+/// policies act as usual (throw/delay/crash) before this returns false.
+inline bool should_fail(const char* site) {
+  return armed() && detail::evaluate_site(site);
+}
+
+/// Arms `site` with `spec`, replacing any previous spec and restarting the
+/// site's random stream from spec.seed.
+void arm(const std::string& site, const Spec& spec);
+
+/// Disarms `site`. No-op when the site is not armed.
+void disarm(const std::string& site);
+
+/// Disarms every site (tests; also the FailpointScope fallback).
+void disarm_all();
+
+/// Times the site was evaluated while armed / times its policy fired.
+/// Zero for unknown or never-armed sites; counters survive disarm().
+std::uint64_t hit_count(const std::string& site);
+std::uint64_t fire_count(const std::string& site);
+
+/// Currently armed site names, sorted (diagnostics and tests).
+std::vector<std::string> armed_sites();
+
+/// Parses one ZKG_FAILPOINTS clause "site:policy[:prob[:seed]]" into its
+/// site name and spec. Throws ConfigError on grammar violations.
+std::pair<std::string, Spec> parse_clause(const std::string& clause);
+
+/// Re-reads ZKG_FAILPOINTS and arms every clause in it on top of the
+/// current state. Invalid clauses are logged and skipped (this runs at
+/// static init, where a throw would terminate). Tests call it directly
+/// after setenv to re-arm.
+void configure_from_env();
+
+/// RAII arm/disarm: arms `site` for the scope's lifetime, then restores
+/// whatever spec (or absence) was in place before. Restoring an armed spec
+/// restarts its random stream, same as arm().
+class FailpointScope {
+ public:
+  FailpointScope(std::string site, const Spec& spec);
+  ~FailpointScope();
+  FailpointScope(const FailpointScope&) = delete;
+  FailpointScope& operator=(const FailpointScope&) = delete;
+
+ private:
+  std::string site_;
+  bool had_previous_ = false;
+  Spec previous_;
+};
+
+}  // namespace zkg::fail
+
+/// Failpoint site marker. Disarmed cost: one relaxed atomic load. Armed:
+/// may throw InjectedFault, sleep, or kill the process per the policy; an
+/// error-return policy is counted as a fire but has no effect here.
+#define ZKG_FAILPOINT(site)                                       \
+  do {                                                            \
+    if (::zkg::fail::armed()) {                                   \
+      static_cast<void>(::zkg::fail::detail::evaluate_site(site)); \
+    }                                                             \
+  } while (false)
+
+/// Failpoint site with an error-return lane: when the site is armed with
+/// Policy::kErrorReturn and fires, the enclosing function returns `result`.
+#define ZKG_FAILPOINT_RETURN(site, result)                        \
+  do {                                                            \
+    if (::zkg::fail::armed() &&                                   \
+        ::zkg::fail::detail::evaluate_site(site)) {               \
+      return result;                                              \
+    }                                                             \
+  } while (false)

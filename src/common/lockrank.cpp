@@ -14,6 +14,7 @@ const char* lock_rank_name(LockRank rank) {
     case LockRank::kTelemetry: return "kTelemetry";
     case LockRank::kBufferPool: return "kBufferPool";
     case LockRank::kBackendResolve: return "kBackendResolve";
+    case LockRank::kFailpoint: return "kFailpoint";
     case LockRank::kLogSink: return "kLogSink";
   }
   return "?";

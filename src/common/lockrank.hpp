@@ -25,6 +25,9 @@
 //                  registry lock but may read pool stats (kBufferPool).
 //   kBufferPool    BufferPool free list — a leaf on the kernel hot path.
 //   kBackendResolve one-shot kernel-backend resolution.
+//   kFailpoint     fail::Registry site table. Evaluated from instrumented
+//                  sites that may hold kBufferPool; policies act (sleep,
+//                  throw, log) only AFTER the registry lock is released.
 //   kLogSink       log sink — a leaf callable from anywhere.
 //
 // Release builds: zkg::debug::Mutex<R> is literally std::mutex and
@@ -64,6 +67,7 @@ enum class LockRank : int {
   kTelemetry = 50,
   kBufferPool = 60,
   kBackendResolve = 70,
+  kFailpoint = 75,
   kLogSink = 80,
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "obs/telemetry.hpp"
 
@@ -56,6 +57,7 @@ void PrefetchBatcher::fill() {
   std::exception_ptr error;
   try {
     ZKG_SPAN("data.prefetch_fill");
+    ZKG_FAILPOINT("data.prefetch_fill");
     end = !inner_.next_into(slot_);
   } catch (...) {
     error = std::current_exception();

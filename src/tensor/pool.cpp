@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "obs/telemetry.hpp"
 
 namespace zkg {
@@ -57,6 +58,9 @@ bool BufferPool::is_poison(float value) {
 }
 
 FloatBuffer BufferPool::acquire(std::size_t numel) {
+  // Evaluated BEFORE taking the pool lock: a delay policy must stall only
+  // this caller, and a throw must not unwind through the guard.
+  ZKG_FAILPOINT("pool.acquire");
   const std::size_t bucket = bucket_for(numel);
   FloatBuffer buffer;
   bool recycled = false;

@@ -95,9 +95,17 @@ TEST(AtomicWrite, RoundTripOverwriteAndNesting) {
 TEST(CheckpointFiles, NamingListingAndRotation) {
   TempDir dir("rotate");
   // Write out of order; zero-padded names must sort into training order.
+  // Payloads are real encoded states: latest_checkpoint() validates
+  // candidates and would (correctly) skip garbage bytes.
+  TrainState state;
+  state.defense = "test";
+  state.model_params.push_back(Tensor({2, 2}));
   for (const auto& [e, b] : std::vector<std::pair<int, int>>{
            {1, 0}, {0, 5}, {0, 0}, {2, 3}}) {
-    atomic_write_file(checkpoint_path(dir.path(), e, b), "x");
+    state.epoch = e;
+    state.batch = b;
+    atomic_write_file(checkpoint_path(dir.path(), e, b),
+                      encode_train_state(state));
   }
   // Unrelated files and stale .tmp partials are not checkpoints.
   atomic_write_file(dir.path() + "/notes.txt", "y");

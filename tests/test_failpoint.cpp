@@ -1,0 +1,328 @@
+// Failpoint subsystem tests (DESIGN.md §16): the env grammar, every policy,
+// seeded determinism, scoped arming, counters — and the checkpoint fault
+// surfaces: write/fsync/rename faults never corrupt the published set, a
+// crash-policy subprocess dies like a power cut, and latest_checkpoint
+// falls back past a truncated newest file.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/io.hpp"
+#include "ckpt/train_state.hpp"
+#include "common/failpoint.hpp"
+#include "common/stopwatch.hpp"
+#include "tensor/pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace zkg::fail {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test leaves the registry clean so suites compose in one process.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FailpointTest, ParseClauseGrammar) {
+  {
+    const auto [site, spec] = parse_clause("ckpt.fsync:throw");
+    EXPECT_EQ(site, "ckpt.fsync");
+    EXPECT_EQ(spec.policy, Policy::kThrow);
+    EXPECT_DOUBLE_EQ(spec.probability, 1.0);
+  }
+  {
+    const auto [site, spec] = parse_clause("serve.batch_forward:delay:0.25");
+    EXPECT_EQ(spec.policy, Policy::kDelay);
+    EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+  }
+  {
+    const auto [site, spec] = parse_clause("a.b:error-return:0.5:12345");
+    EXPECT_EQ(spec.policy, Policy::kErrorReturn);
+    EXPECT_DOUBLE_EQ(spec.probability, 0.5);
+    EXPECT_EQ(spec.seed, 12345u);
+  }
+  EXPECT_EQ(parse_clause("x:crash").second.policy, Policy::kCrash);
+
+  EXPECT_THROW(parse_clause(""), ConfigError);
+  EXPECT_THROW(parse_clause("siteonly"), ConfigError);
+  EXPECT_THROW(parse_clause(":throw"), ConfigError);
+  EXPECT_THROW(parse_clause("a.b:explode"), ConfigError);
+  EXPECT_THROW(parse_clause("a.b:throw:nan"), ConfigError);
+  EXPECT_THROW(parse_clause("a.b:throw:1.5"), ConfigError);
+  EXPECT_THROW(parse_clause("a.b:throw:-0.1"), ConfigError);
+  EXPECT_THROW(parse_clause("a.b:throw:0.5:notanumber"), ConfigError);
+  EXPECT_THROW(parse_clause("a.b:throw:0.5:1:extra"), ConfigError);
+}
+
+TEST_F(FailpointTest, DisabledSitesAreInert) {
+  ASSERT_TRUE(armed_sites().empty());
+  EXPECT_FALSE(armed());
+  // The macro's fast path: nothing armed, nothing counted, nothing thrown.
+  ZKG_FAILPOINT("test.inert");
+  EXPECT_EQ(hit_count("test.inert"), 0u);
+  // An armed UNRELATED site must not affect this one.
+  arm("test.other", Spec{});
+  EXPECT_TRUE(armed());
+  ZKG_FAILPOINT("test.inert");
+  EXPECT_EQ(hit_count("test.inert"), 0u);
+  EXPECT_EQ(fire_count("test.inert"), 0u);
+}
+
+TEST_F(FailpointTest, ThrowPolicyRaisesInjectedFaultWithSite) {
+  arm("test.throw", Spec{});
+  try {
+    ZKG_FAILPOINT("test.throw");
+    FAIL() << "armed throw site did not fire";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.site(), "test.throw");
+    EXPECT_NE(std::string(fault.what()).find("test.throw"),
+              std::string::npos);
+  }
+  disarm("test.throw");
+  EXPECT_NO_THROW(ZKG_FAILPOINT("test.throw"));
+}
+
+namespace {
+int guarded_operation() {
+  ZKG_FAILPOINT_RETURN("test.error_return", -1);
+  return 0;
+}
+}  // namespace
+
+TEST_F(FailpointTest, ErrorReturnPolicyTakesTheFallbackLane) {
+  EXPECT_EQ(guarded_operation(), 0);
+  Spec spec;
+  spec.policy = Policy::kErrorReturn;
+  arm("test.error_return", spec);
+  EXPECT_EQ(guarded_operation(), -1);
+  disarm("test.error_return");
+  EXPECT_EQ(guarded_operation(), 0);
+}
+
+TEST_F(FailpointTest, DelayPolicyBlocksForTheConfiguredTime) {
+  Spec spec;
+  spec.policy = Policy::kDelay;
+  spec.delay_s = 0.05;
+  arm("test.delay", spec);
+  const Stopwatch watch;
+  ZKG_FAILPOINT("test.delay");
+  EXPECT_GE(watch.seconds(), 0.04);
+}
+
+TEST_F(FailpointTest, SeededProbabilityReplaysBitIdentically) {
+  Spec spec;
+  spec.policy = Policy::kErrorReturn;  // observable without unwinding
+  spec.probability = 0.5;
+  spec.seed = 123;
+  const auto draw_pattern = [&] {
+    arm("test.seeded", spec);  // (re-)arming restarts the site's stream
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(should_fail("test.seeded"));
+    return fired;
+  };
+  const std::vector<bool> first = draw_pattern();
+  const std::vector<bool> replay = draw_pattern();
+  EXPECT_EQ(first, replay);
+  // The pattern is probabilistic, not constant.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+  // A different seed draws a different (still deterministic) pattern.
+  spec.seed = 124;
+  EXPECT_NE(draw_pattern(), first);
+}
+
+TEST_F(FailpointTest, HitAndFireCountersTrackEvaluations) {
+  Spec spec;
+  spec.policy = Policy::kErrorReturn;
+  spec.probability = 0.0;  // never fires, always hits
+  arm("test.counters", spec);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(should_fail("test.counters"));
+  EXPECT_EQ(hit_count("test.counters"), 10u);
+  EXPECT_EQ(fire_count("test.counters"), 0u);
+  spec.probability = 1.0;
+  arm("test.counters", spec);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(should_fail("test.counters"));
+  EXPECT_EQ(hit_count("test.counters"), 15u);  // counters survive re-arm
+  EXPECT_EQ(fire_count("test.counters"), 5u);
+}
+
+TEST_F(FailpointTest, ScopeArmsAndRestoresThePreviousSpec) {
+  // Scope over an unarmed site: armed inside, gone after.
+  {
+    FailpointScope scope("test.scope", Spec{});
+    EXPECT_THROW(ZKG_FAILPOINT("test.scope"), InjectedFault);
+  }
+  EXPECT_NO_THROW(ZKG_FAILPOINT("test.scope"));
+  EXPECT_FALSE(armed());
+
+  // Scope over an armed site: the inner spec wins, the outer one returns.
+  Spec outer;
+  outer.policy = Policy::kErrorReturn;
+  arm("test.scope", outer);
+  {
+    FailpointScope scope("test.scope", Spec{});  // kThrow
+    EXPECT_THROW(ZKG_FAILPOINT("test.scope"), InjectedFault);
+  }
+  EXPECT_TRUE(should_fail("test.scope"));  // error-return again
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvArmsValidClausesAndSkipsBroken) {
+  ::setenv("ZKG_FAILPOINTS",
+           "test.env_a:error-return:1:7,broken-clause,test.env_b:delay", 1);
+  configure_from_env();
+  ::unsetenv("ZKG_FAILPOINTS");
+  const std::vector<std::string> sites = armed_sites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.env_a"), sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.env_b"), sites.end());
+  EXPECT_EQ(sites.size(), 2u);  // the broken clause was logged and skipped
+  EXPECT_TRUE(should_fail("test.env_a"));
+}
+
+TEST_F(FailpointTest, ArmRejectsInvalidSpecs) {
+  Spec spec;
+  spec.probability = 1.5;
+  EXPECT_THROW(arm("test.bad", spec), ConfigError);
+  spec = Spec{};
+  spec.delay_s = -1.0;
+  EXPECT_THROW(arm("test.bad", spec), ConfigError);
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, PoolAcquireFaultSurfacesAndRecovers) {
+  {
+    FailpointScope scope("pool.acquire", Spec{});
+    EXPECT_THROW(BufferPool::global().acquire(64), InjectedFault);
+  }
+  FloatBuffer buffer = BufferPool::global().acquire(64);
+  EXPECT_GE(buffer.capacity(), 64u);
+  BufferPool::global().release(std::move(buffer));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint fault surfaces.
+
+ckpt::TrainState tiny_state(std::int64_t batch) {
+  ckpt::TrainState state;
+  state.defense = "test";
+  state.seed = 1;
+  state.epoch = 0;
+  state.batch = batch;
+  state.model_params.push_back(Tensor({2, 2}));
+  return state;
+}
+
+class CkptFaultTest : public FailpointTest {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("zkg_failpoint_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailpointTest::TearDown();
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(CkptFaultTest, WriteFsyncRenameFaultsNeverCorruptLatest) {
+  const std::string published = ckpt::checkpoint_path(dir_, 0, 1);
+  ckpt::save_train_state(published, tiny_state(1));
+  ASSERT_EQ(ckpt::latest_checkpoint(dir_), published);
+
+  for (const char* site : {"ckpt.write", "ckpt.fsync", "ckpt.rename"}) {
+    FailpointScope scope(site, Spec{});
+    EXPECT_THROW(
+        ckpt::save_train_state(ckpt::checkpoint_path(dir_, 0, 2),
+                               tiny_state(2)),
+        InjectedFault)
+        << site;
+    // The failed write published nothing and corrupted nothing.
+    EXPECT_EQ(ckpt::latest_checkpoint(dir_), published) << site;
+    EXPECT_NO_THROW(ckpt::load_train_state(published)) << site;
+  }
+  // Disarmed: the next write publishes normally on top of the leftovers.
+  const std::string next = ckpt::checkpoint_path(dir_, 0, 3);
+  ckpt::save_train_state(next, tiny_state(3));
+  EXPECT_EQ(ckpt::latest_checkpoint(dir_), next);
+  EXPECT_EQ(ckpt::load_train_state(next).batch, 3);
+}
+
+TEST_F(CkptFaultTest, ReadFaultSurfacesAsInjectedFault) {
+  const std::string path = ckpt::checkpoint_path(dir_, 0, 1);
+  ckpt::save_train_state(path, tiny_state(1));
+  {
+    FailpointScope scope("ckpt.read", Spec{});
+    EXPECT_THROW(ckpt::load_train_state(path), InjectedFault);
+  }
+  EXPECT_EQ(ckpt::load_train_state(path).batch, 1);
+}
+
+TEST_F(CkptFaultTest, LatestCheckpointFallsBackPastTruncatedNewest) {
+  const std::string older = ckpt::checkpoint_path(dir_, 0, 1);
+  const std::string newest = ckpt::checkpoint_path(dir_, 0, 2);
+  ckpt::save_train_state(older, tiny_state(1));
+  ckpt::save_train_state(newest, tiny_state(2));
+  ASSERT_EQ(ckpt::latest_checkpoint(dir_), newest);
+
+  // Truncate the newest to half its bytes — a torn write that somehow got
+  // published. The CRC walk rejects it and the next-older one wins.
+  const std::string bytes = ckpt::read_file(newest);
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(ckpt::validate_train_state_bytes(ckpt::read_file(newest)),
+               SerializationError);
+  EXPECT_EQ(ckpt::latest_checkpoint(dir_), older);
+  EXPECT_EQ(ckpt::load_train_state(older).batch, 1);
+
+  // With every checkpoint corrupt there is no latest.
+  {
+    std::ofstream out(older, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  EXPECT_EQ(ckpt::latest_checkpoint(dir_), std::string());
+}
+
+TEST_F(CkptFaultTest, CrashPolicyKillsLikeAPowerCut) {
+  // The child trains with per-batch checkpointing; the very first
+  // checkpoint write reaches ckpt.rename and dies by SIGKILL — after the
+  // tmp fsync, before the publishing rename.
+  const std::string command =
+      "ZKG_FAILPOINTS=ckpt.rename:crash " ZKG_CRASH_CHILD " \"" + dir_ +
+      "\" >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  ASSERT_NE(status, -1);
+  const bool killed =
+      (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ||
+      (WIFEXITED(status) && WEXITSTATUS(status) == 128 + SIGKILL);
+  ASSERT_TRUE(killed) << "child was not killed as expected, status="
+                      << status;
+  // Nothing was published (the rename never ran), nothing is corrupt, and
+  // the unpublished payload survives only as a .tmp leftover.
+  EXPECT_EQ(ckpt::latest_checkpoint(dir_), std::string());
+  bool found_tmp = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".tmp") found_tmp = true;
+  }
+  EXPECT_TRUE(found_tmp) << "expected the fsynced-but-unpublished .tmp";
+}
+
+}  // namespace
+}  // namespace zkg::fail

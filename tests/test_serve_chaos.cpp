@@ -1,0 +1,202 @@
+// Serving-layer chaos suite (DESIGN.md §16): with failpoints armed on the
+// batch forward, the admission path and the buffer pool, the server's
+// contract must still hold — every accepted request's future completes
+// (with a result or a typed error), stop() always drains, and the engine
+// survives every injected fault.
+//
+// Assertions here are deliberately FAULT-AGNOSTIC: they count completions
+// and never assert label correctness or fault-free behaviour, so CI can
+// re-run this binary with an external ZKG_FAILPOINTS seed matrix armed on
+// top of the scopes below (label correctness lives in test_serve.cpp,
+// which never runs with failpoints armed).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "models/mlp.hpp"
+#include "serve/server.hpp"
+#include "tensor/random.hpp"
+
+namespace zkg::serve {
+namespace {
+
+constexpr models::InputSpec kSpec{1, 8, 8, 10};
+
+models::Classifier tiny_model(std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return models::build_mlp(kSpec, {16}, rng);
+}
+
+std::vector<Tensor> make_images(std::int64_t n, std::uint64_t seed) {
+  std::vector<Tensor> images;
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    images.push_back(rand_uniform(kSpec.batch_shape(1), rng));
+  }
+  return images;
+}
+
+/// Consumes a handle, whatever its outcome. Returns true when the future
+/// completed (value or typed error) — false only on a gtest-fatal hang,
+/// which the surrounding wait_for guards against.
+bool consume(RequestHandle& handle) {
+  if (!handle.valid()) return false;
+  if (handle.future().wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    return false;  // abandoned future: the invariant this suite exists for
+  }
+  try {
+    static_cast<void>(handle.get());
+  } catch (const Error&) {
+    // Typed failure (InjectedFault, DeadlineExceeded, WatchdogTimeout,
+    // Overloaded, ...) — a completed future all the same.
+  }
+  return true;
+}
+
+TEST(ServeChaos, ThrowOnForwardFailsTheBatchNotTheServer) {
+  models::Classifier model = tiny_model();
+  const std::vector<Tensor> images = make_images(4, 11);
+  ServeConfig config;
+  config.max_delay_s = 0.001;
+  InferenceServer server(model, config);
+  {
+    fail::FailpointScope scope("serve.batch_forward", fail::Spec{});
+    RequestHandle doomed = server.submit(images[0]);
+    EXPECT_THROW(doomed.get(), fail::InjectedFault);
+  }
+  // The engine survived the throw: the next request's future completes
+  // (fault-agnostic — CI may still have batch-forward faults armed).
+  RequestHandle next = server.submit(images[1]);
+  EXPECT_TRUE(consume(next));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServeChaos, NoFutureAbandonedUnderProbabilisticFaults) {
+  models::Classifier model = tiny_model();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 48;
+  const std::vector<Tensor> images = make_images(kClients, 13);
+  ServeConfig config;
+  config.max_batch = 8;
+  config.max_delay_s = 0.0005;
+  config.max_queue = 64;
+  config.watchdog_s = 0.25;
+  InferenceServer server(model, config);
+
+  fail::Spec forward_faults;
+  forward_faults.probability = 0.2;  // throw on ~1 in 5 batches
+  forward_faults.seed = 101;
+  fail::FailpointScope forward_scope("serve.batch_forward", forward_faults);
+  fail::Spec admit_faults;
+  admit_faults.policy = fail::Policy::kErrorReturn;
+  admit_faults.probability = 0.1;  // injected Overloaded on ~1 in 10 submits
+  admit_faults.seed = 202;
+  fail::FailpointScope admit_scope("serve.admit", admit_faults);
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> abandoned{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        SubmitOptions options;
+        if (i % 3 == 0) options.deadline_s = 0.05;
+        if (i % 4 == 0) options.priority = Priority::kLow;
+        RequestHandle handle;
+        try {
+          handle = server.submit(images[static_cast<std::size_t>(c)],
+                                 options);
+        } catch (const Overloaded&) {
+          ++rejected;
+          continue;
+        }
+        ++accepted;
+        if (i % 7 == 0) static_cast<void>(handle.cancel());
+        if (!consume(handle)) ++abandoned;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.stop();
+
+  // THE invariant: every accepted request's future completed.
+  EXPECT_EQ(abandoned.load(), 0);
+  EXPECT_EQ(accepted.load() + rejected.load(), kClients * kPerClient);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted.load()));
+}
+
+TEST(ServeChaos, DrainOnStopHoldsWithFaultsMidDrain) {
+  models::Classifier model = tiny_model();
+  const std::vector<Tensor> images = make_images(12, 17);
+  ServeConfig config;
+  config.max_batch = 4;  // the drain needs several batches
+  config.max_delay_s = 60.0;
+  InferenceServer server(model, config);
+  server.pause();  // everything queues; faults fire during the drain itself
+  std::vector<RequestHandle> handles;
+  for (const Tensor& image : images) handles.push_back(server.submit(image));
+
+  fail::Spec faults;
+  faults.probability = 0.5;
+  faults.seed = 303;
+  fail::FailpointScope scope("serve.batch_forward", faults);
+  server.stop();  // overrides the pause; must complete every future
+
+  int completed = 0;
+  for (RequestHandle& handle : handles) completed += consume(handle) ? 1 : 0;
+  EXPECT_EQ(completed, 12);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_GE(stats.drain_flushes, 1u);
+  EXPECT_THROW(server.submit(images[0]), ShutDown);
+}
+
+TEST(ServeChaos, PoolAcquireDelayOnlySlowsTheBatchPath) {
+  models::Classifier model = tiny_model();
+  const std::vector<Tensor> images = make_images(8, 19);
+  ServeConfig config;
+  config.max_delay_s = 0.001;
+  InferenceServer server(model, config);
+  fail::Spec slow;
+  slow.policy = fail::Policy::kDelay;
+  slow.probability = 0.25;
+  slow.seed = 404;
+  slow.delay_s = 0.002;
+  fail::FailpointScope scope("pool.acquire", slow);
+  std::vector<RequestHandle> handles;
+  for (const Tensor& image : images) handles.push_back(server.submit(image));
+  int completed = 0;
+  for (RequestHandle& handle : handles) completed += consume(handle) ? 1 : 0;
+  EXPECT_EQ(completed, 8);
+  EXPECT_EQ(server.stats().completed, 8u);
+}
+
+TEST(ServeChaos, SubmitFaultLeavesNoTrace) {
+  models::Classifier model = tiny_model();
+  const std::vector<Tensor> images = make_images(2, 23);
+  InferenceServer server(model, ServeConfig{});
+  {
+    fail::FailpointScope scope("serve.submit", fail::Spec{});
+    // The front-door fault fires before any state exists: nothing is
+    // accepted, no future is created, nothing leaks.
+    EXPECT_THROW(server.submit(images[0]), fail::InjectedFault);
+  }
+  EXPECT_EQ(server.stats().accepted, 0u);
+  RequestHandle handle = server.submit(images[1]);
+  EXPECT_TRUE(consume(handle));
+}
+
+}  // namespace
+}  // namespace zkg::serve

@@ -12,6 +12,11 @@ the concurrency rules that arrived with the LockRank layer:
   raw-mutex            std::mutex / std::condition_variable only inside
                        src/common/lockrank.hpp — everything else declares a
                        ranked debug::Mutex<LockRank> / debug::CondVar
+  sleep-in-loop        no raw sleep_for/sleep_until/usleep/nanosleep inside
+                       a loop body — poll-sleeping burns a core and hides a
+                       missing signal; compute one deadline sleep or retry
+                       through zkg::Backoff. Unlike the layer rules this one
+                       also sweeps bench/, examples/ and tests/.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import re
 from pathlib import Path
 
 from .cpptok import Tok
-from .engine import Reporter, SourceFile
+from .engine import Reporter, SourceFile, load_file
 
 # Files allowed to use raw threading primitives: the one parallel layer.
 PARALLEL_LAYER = {
@@ -43,6 +48,17 @@ LOCKRANK_LAYER = "src/common/lockrank.hpp"
 # Directories where blocking-under-lock applies: the two subsystems whose
 # mutexes guard producer/consumer handoffs on the serving/training path.
 BLOCKING_SCOPE_PREFIXES = ("src/serve/", "src/data/")
+
+# Files sanctioned to sleep inside a loop: the jittered-backoff policy is
+# the one blessed retry sleeper, and the failpoint delay policy injects
+# stalls on purpose.
+SLEEP_LOOP_EXEMPT = {"src/common/backoff.hpp", "src/common/failpoint.cpp"}
+
+# Leaf trees the sleep-in-loop rule sweeps in addition to src/ — bench
+# drivers and examples are where polling loops historically crept in.
+SLEEP_EXTRA_TREES = ("bench", "examples", "tests")
+
+SLEEP_CALLS = {"sleep_for", "sleep_until", "usleep", "nanosleep"}
 
 RAW_SYNC_TYPES = {
     "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
@@ -67,9 +83,20 @@ def run(files: list[SourceFile], reporter: Reporter, root: Path) -> None:
         _lint_tokens(source, reporter)
         if source.rel.startswith(BLOCKING_SCOPE_PREFIXES):
             _lint_blocking_under_lock(source, reporter)
+        if source.rel not in SLEEP_LOOP_EXEMPT:
+            _lint_sleep_in_loop(source, reporter)
     ops = next((f for f in files if f.rel == "src/tensor/ops.hpp"), None)
     if ops is not None:
         _lint_into_counterparts(ops, reporter)
+    # sleep-in-loop alone extends past src/: the layer and primitive rules
+    # don't govern the leaf trees, but a polling loop is a defect anywhere.
+    for tree in SLEEP_EXTRA_TREES:
+        base = root / tree
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in {".cpp", ".hpp"}:
+                _lint_sleep_in_loop(load_file(path, root), reporter)
 
 
 # --------------------------------------------------------------- token scan
@@ -309,6 +336,93 @@ def _skip_angle(code: list[Tok], i: int) -> int:
                 return i + 1
         elif code[i].text in (";", "{"):
             return i  # not template args after all
+        i += 1
+    return i
+
+
+# ------------------------------------------------------- sleep in a loop
+
+def _lint_sleep_in_loop(source: SourceFile, reporter: Reporter) -> None:
+    """Flags raw sleep calls lexically inside a loop body.
+
+    Loop bodies are tracked by brace depth: `for`/`while` headers followed
+    by a brace open a loop scope, `do {` opens one directly, and a
+    braceless header flags sleeps in its single-statement body. Waking on
+    a timer to re-check state is the pattern this bans — the fix is a
+    condition-variable signal, one computed deadline sleep, or the shared
+    zkg::Backoff retry policy.
+    """
+    code = source.code
+    depth = 0
+    loop_depths: list[int] = []
+    i = 0
+    while i < len(code):
+        tok = code[i]
+        nxt = code[i + 1] if i + 1 < len(code) else None
+        if (tok.kind == "id" and tok.text in ("for", "while")
+                and nxt is not None and nxt.text == "("):
+            j = _skip_parens(code, i + 1)
+            if j < len(code) and code[j].text == "{":
+                depth += 1
+                loop_depths.append(depth)
+                i = j + 1
+                continue
+            # Braceless body: one statement up to the ';' at this nesting.
+            k = j
+            nest = 0
+            while k < len(code):
+                text = code[k].text
+                if text == "{":
+                    nest += 1
+                elif text == "}":
+                    nest -= 1
+                    if nest < 0:
+                        break
+                elif text == ";" and nest == 0:
+                    break
+                elif (code[k].kind == "id" and code[k].text in SLEEP_CALLS
+                        and k + 1 < len(code) and code[k + 1].text == "("):
+                    _sleepy(reporter, source, code[k])
+                k += 1
+            i = k + 1
+            continue
+        if (tok.kind == "id" and tok.text == "do"
+                and nxt is not None and nxt.text == "{"):
+            depth += 1
+            loop_depths.append(depth)
+            i += 2
+            continue
+        if tok.text == "{":
+            depth += 1
+        elif tok.text == "}":
+            if loop_depths and loop_depths[-1] == depth:
+                loop_depths.pop()
+            depth -= 1
+        elif (tok.kind == "id" and tok.text in SLEEP_CALLS and loop_depths
+              and nxt is not None and nxt.text == "("):
+            _sleepy(reporter, source, tok)
+        i += 1
+
+
+def _sleepy(reporter: Reporter, source: SourceFile, tok: Tok) -> None:
+    reporter.report(
+        source, "sleep-in-loop", tok.line,
+        f"raw {tok.text}() inside a loop; poll-sleeping burns a core and "
+        "hides a missing signal — wait on a condition variable, compute "
+        "one deadline sleep, or retry via zkg::Backoff "
+        "(common/backoff.hpp)")
+
+
+def _skip_parens(code: list[Tok], i: int) -> int:
+    """Given code[i] == '(', returns the index just past the matching ')'."""
+    nest = 0
+    while i < len(code):
+        if code[i].text == "(":
+            nest += 1
+        elif code[i].text == ")":
+            nest -= 1
+            if nest == 0:
+                return i + 1
         i += 1
     return i
 

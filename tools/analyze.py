@@ -177,6 +177,46 @@ void standalone() {
   delete p;  // zkg-lint: allow(naked-allocation) reason: paired
 }
 """, {}),
+    # sleep-in-loop: a braced polling loop fires; the single computed
+    # sleep below it must not.
+    ("src/data/poll.cpp", """\
+#include <thread>
+void poll() {
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+""", {"sleep-in-loop": 4}),
+    ("src/serve/single_sleep.cpp", """\
+#include <thread>
+void nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+""", {}),
+    # The sanctioned backoff sleeper is exempt even with a loop.
+    ("src/common/backoff.hpp", """\
+#pragma once
+inline void spin() {
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+""", {}),
+    # The rule alone sweeps the leaf trees: a braceless while body in
+    # bench/ and a do-while nanosleep in tests/ both fire.
+    ("bench/poll_bench.cpp", """\
+int main() {
+  while (busy()) std::this_thread::sleep_for(tick);
+  return 0;
+}
+""", {"sleep-in-loop": 2}),
+    ("tests/poll_test.cpp", """\
+void retry() {
+  do {
+    nanosleep(&ts, nullptr);
+  } while (again());
+}
+""", {"sleep-in-loop": 3}),
 ]
 
 # Rules that must NOT fire anywhere in the mini tree.
@@ -185,6 +225,8 @@ FORBIDDEN: dict[str, set[str]] = {
                             "raw-mutex"},
     "src/common/waived.cpp": {"layer-upward-include"},
     "src/tensor/standalone.cpp": {"naked-allocation"},
+    "src/serve/single_sleep.cpp": {"sleep-in-loop"},
+    "src/common/backoff.hpp": {"sleep-in-loop"},
 }
 
 
